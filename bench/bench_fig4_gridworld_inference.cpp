@@ -1,0 +1,87 @@
+/// \file bench_fig4_gridworld_inference.cpp
+/// Reproduces Fig. 4: GridWorld inference under transient faults.
+/// Series: Multi-Trans-1 (read-register fault, one action step),
+/// Multi-Trans-M (memory fault, persists), Single-Trans-M (single-agent
+/// policy), plus the stuck-at-0/1 baselines of the inset.
+///
+/// Paper shape: Trans-1 is negligible; Trans-M degrades with BER;
+/// the single-agent policy degrades fastest; stuck-at-1 is worse than
+/// stuck-at-0 (0->1 flips create outliers).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "frl/gridworld_system.hpp"
+
+using namespace frlfi;
+using namespace frlfi::bench;
+
+namespace {
+
+double campaign(GridWorldFrlSystem& sys, FaultModel model, double ber,
+                std::size_t trials, std::size_t attempts, std::uint64_t seed) {
+  RunningStats stats;
+  for (std::size_t t = 0; t < trials; ++t) {
+    InferenceFaultScenario scenario;
+    scenario.spec.model = model;
+    scenario.spec.ber = ber;
+    scenario.use_int8 = true;  // the paper's GridWorld policy is 8-bit
+    stats.add(100.0 * sys.evaluate_inference_fault(scenario, attempts,
+                                                   seed + 31 * t));
+  }
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner("Fig. 4",
+               "GridWorld inference faults: SR vs BER "
+               "(paper: Trans-1 flat ~98; Multi-Trans-M > Single-Trans-M)",
+               args);
+
+  const std::size_t episodes = args.fast ? 500 : 1000;
+  const std::size_t attempts = args.fast ? 5 : 10;
+  const std::size_t trials = std::max<std::size_t>(args.trials, 3);
+
+  GridWorldFrlSystem::Config multi_cfg;
+  GridWorldFrlSystem multi(multi_cfg, args.seed);
+  multi.train(episodes);
+
+  GridWorldFrlSystem::Config single_cfg;
+  single_cfg.n_agents = 1;
+  GridWorldFrlSystem single(single_cfg, args.seed);
+  single.train(episodes);
+
+  std::vector<double> bers_pct{0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+  if (args.fast) bers_pct = {0.0, 0.5, 1.0, 2.0};
+
+  Table table("Fig. 4 — inference SR (%) vs BER (%)",
+              {"BER %", "Multi-Trans-1", "Multi-Trans-M", "Single-Trans-M",
+               "Stuck-at-0", "Stuck-at-1"});
+  for (double ber_pct : bers_pct) {
+    const double ber = ber_pct / 100.0;
+    table.row()
+        .num(ber_pct, 2)
+        .num(campaign(multi, FaultModel::TransientSingleStep, ber, trials,
+                      attempts, args.seed),
+             1)
+        .num(campaign(multi, FaultModel::TransientPersistent, ber, trials,
+                      attempts, args.seed),
+             1)
+        .num(campaign(single, FaultModel::TransientPersistent, ber, trials,
+                      attempts, args.seed),
+             1)
+        .num(campaign(multi, FaultModel::StuckAt0, ber, trials, attempts,
+                      args.seed),
+             1)
+        .num(campaign(multi, FaultModel::StuckAt1, ber, trials, attempts,
+                      args.seed),
+             1);
+  }
+  table.print();
+  return 0;
+}

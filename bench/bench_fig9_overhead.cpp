@@ -1,0 +1,55 @@
+/// \file bench_fig9_overhead.cpp
+/// Reproduces Fig. 9: end-to-end comparison of the proposed detection
+/// scheme against hardware redundancy (DMR/TMR) through the UAV
+/// cyber-physical performance model, on the AirSim-class mini-UAV and the
+/// DJI-Spark-class micro-UAV.
+///
+/// Paper results: detection <2.7% runtime overhead with negligible
+/// distance loss; TMR degrades distance 9.3% (AirSim) and 87.8% (Spark)
+/// relative to the detection scheme.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "perfmodel/uav.hpp"
+
+using namespace frlfi;
+using namespace frlfi::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner("Fig. 9",
+               "Protection-scheme overhead via the UAV performance model "
+               "(paper: TMR -9.3% AirSim / -87.8% Spark vs our detection)",
+               args);
+
+  const std::vector<ProtectionScheme> schemes{
+      ProtectionScheme::baseline(), ProtectionScheme::detection(),
+      ProtectionScheme::dmr(), ProtectionScheme::tmr()};
+
+  for (const UavSpec& uav : {UavSpec::airsim_drone(), UavSpec::dji_spark()}) {
+    Table table("Fig. 9 — " + uav.name,
+                {"scheme", "distance [m]", "velocity [m/s]", "power [W]",
+                 "latency [ms]", "deg. vs detection"});
+    for (const ProtectionScheme& scheme : schemes) {
+      const FlightPerformance perf = evaluate_flight(uav, scheme);
+      const double deg = distance_degradation_pct(uav, scheme,
+                                                  ProtectionScheme::detection());
+      table.row()
+          .cell(scheme.name)
+          .num(perf.safe_flight_distance_m, 1)
+          .num(perf.safe_velocity, 2)
+          .num(perf.total_power_w, 1)
+          .num(perf.compute_latency_s * 1000.0, 1)
+          .cell(format_fixed(deg, 1) + "%");
+    }
+    table.print();
+    std::cout << "\n";
+  }
+  std::cout << "(paper reference: detection ~= baseline; DMR/TMR degrade the\n"
+               " mini-UAV mildly and cripple the micro-UAV — redundant compute\n"
+               " hardware costs mass and power that smaller platforms cannot\n"
+               " afford)\n";
+  return 0;
+}

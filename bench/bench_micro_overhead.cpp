@@ -1,0 +1,110 @@
+/// \file bench_micro_overhead.cpp
+/// Google-benchmark micro-benchmarks backing the paper's overhead claims:
+/// the fault injector, the range detector scan (the §V-B runtime cost,
+/// <2.7% of a policy step), checkpoint save/restore (§V-A, asynchronous),
+/// the smoothing-average aggregation, and the policy forward passes they
+/// are measured against.
+
+#include <benchmark/benchmark.h>
+
+#include "fault/injector.hpp"
+#include "federated/aggregation.hpp"
+#include "frl/policies.hpp"
+#include "mitigation/checkpoint.hpp"
+#include "mitigation/range_detector.hpp"
+
+namespace frlfi {
+namespace {
+
+Network& grid_policy() {
+  static Rng rng(1);
+  static Network net = make_gridworld_policy(rng);
+  return net;
+}
+
+Network& drone_policy() {
+  static Rng rng(2);
+  static Network net = make_drone_policy(rng);
+  return net;
+}
+
+void BM_GridPolicyForward(benchmark::State& state) {
+  Network& net = grid_policy();
+  const Tensor obs({10}, 0.3f);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(obs));
+}
+BENCHMARK(BM_GridPolicyForward);
+
+void BM_DronePolicyForward(benchmark::State& state) {
+  Network& net = drone_policy();
+  const Tensor obs({3, 18, 32}, 0.3f);
+  for (auto _ : state) benchmark::DoNotOptimize(net.forward(obs));
+}
+BENCHMARK(BM_DronePolicyForward);
+
+void BM_InjectInt8(benchmark::State& state) {
+  std::vector<float> weights(static_cast<std::size_t>(state.range(0)), 0.5f);
+  FaultSpec spec;
+  spec.ber = 1e-3;
+  Rng rng(3);
+  for (auto _ : state) benchmark::DoNotOptimize(inject_int8(weights, spec, rng));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InjectInt8)->Arg(1540)->Arg(4131);
+
+void BM_InjectFixedPoint(benchmark::State& state) {
+  std::vector<float> weights(static_cast<std::size_t>(state.range(0)), 0.5f);
+  FaultSpec spec;
+  spec.ber = 1e-3;
+  Rng rng(4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        inject_fixed_point(weights, FixedPointFormat::q1_7_8(), spec, rng));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InjectFixedPoint)->Arg(1540)->Arg(4131);
+
+void BM_RangeDetectorScan(benchmark::State& state) {
+  Network& net = drone_policy();
+  const RangeAnomalyDetector detector(net, {.margin = 0.10});
+  for (auto _ : state) benchmark::DoNotOptimize(detector.scan(net));
+}
+BENCHMARK(BM_RangeDetectorScan);
+
+void BM_RangeDetectorSuppress(benchmark::State& state) {
+  Network& net = drone_policy();
+  const RangeAnomalyDetector detector(net, {.margin = 0.10});
+  for (auto _ : state) benchmark::DoNotOptimize(detector.scan_and_suppress(net));
+}
+BENCHMARK(BM_RangeDetectorSuppress);
+
+void BM_CheckpointSave(benchmark::State& state) {
+  CheckpointStore store(1);
+  const std::vector<float> params(4131, 0.5f);
+  std::size_t round = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(store.offer(++round, params));
+}
+BENCHMARK(BM_CheckpointSave);
+
+void BM_SmoothingAverage(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<float>> uploads(n, std::vector<float>(4131, 0.5f));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(smoothing_average(uploads, 0.5));
+  state.SetItemsProcessed(state.iterations() * n * 4131);
+}
+BENCHMARK(BM_SmoothingAverage)->Arg(4)->Arg(12);
+
+void BM_WeightRestoreGuard(benchmark::State& state) {
+  Network& net = grid_policy();
+  for (auto _ : state) {
+    WeightRestoreGuard guard(net);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_WeightRestoreGuard);
+
+}  // namespace
+}  // namespace frlfi
+
+BENCHMARK_MAIN();

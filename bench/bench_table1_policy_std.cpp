@@ -1,0 +1,47 @@
+/// \file bench_table1_policy_std.cpp
+/// Reproduces Table I: standard deviation of the consensus policy's action
+/// values for single-agent vs multi-agent (n = 4, 8, 12) GridWorld FRL.
+/// Paper values: 0.255 / 0.405 / 0.472 / 0.504 — larger std = better
+/// differentiation between good and bad actions, hence the multi-agent
+/// system's higher performance and resilience.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/stats.hpp"
+#include "core/table.hpp"
+#include "frl/gridworld_system.hpp"
+
+using namespace frlfi;
+using namespace frlfi::bench;
+
+int main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::parse(argc, argv);
+  print_banner("Table I",
+               "Std of the consensus policy vs agent count "
+               "(paper: single 0.255, n=4 0.405, n=8 0.472, n=12 0.504)",
+               args);
+
+  const std::size_t episodes = args.fast ? 400 : 1000;
+  Table table("Table I — consensus policy action-value std",
+              {"system", "policy std", "95% CI +/-", "paper"});
+  const std::vector<std::pair<std::size_t, const char*>> systems{
+      {1, "0.255"}, {4, "0.405"}, {8, "0.472"}, {12, "0.504"}};
+
+  for (const auto& [n, paper] : systems) {
+    RunningStats stats;
+    for (std::size_t t = 0; t < args.trials; ++t) {
+      GridWorldFrlSystem::Config cfg;
+      cfg.n_agents = n;
+      GridWorldFrlSystem sys(cfg, args.seed + t);
+      sys.train(episodes);
+      stats.add(sys.consensus_action_stddev());
+    }
+    const std::string label =
+        n == 1 ? "Single-agent" : "Multi-agent (n=" + std::to_string(n) + ")";
+    table.row().cell(label).num(stats.mean(), 3).num(ci95(stats).margin(), 3)
+        .cell(paper);
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace frlfi::bench {
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trials=", 0) == 0) {
+      args.trials = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 9, nullptr, 10));
+      if (args.trials == 0) args.trials = 1;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--fast") {
+      args.fast = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--trials=N] [--seed=N] [--fast]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+void print_banner(const std::string& figure, const std::string& description,
+                  const BenchArgs& args) {
+  std::cout << "================================================================\n"
+            << "FRL-FI reproduction — " << figure << "\n"
+            << description << "\n"
+            << "trials/cell=" << args.trials << " seed=" << args.seed
+            << (args.fast ? " (fast mode)" : "") << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace frlfi::bench

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared command-line handling for the benchmark harness. Every bench
+/// binary accepts:
+///   --trials=N   repetitions per campaign cell (default 1; the paper uses
+///                1000 for GridWorld and 100 for DroneNav)
+///   --seed=N     base seed (default 42)
+///   --fast       cut sweep resolution for smoke runs
+/// and prints the table/figure it reproduces with paper-vs-measured notes.
+
+#include <cstdint>
+#include <string>
+
+namespace frlfi::bench {
+
+/// Parsed command-line arguments.
+struct BenchArgs {
+  std::size_t trials = 1;
+  std::uint64_t seed = 42;
+  bool fast = false;
+
+  /// Parse argv; unknown flags abort with a usage message.
+  static BenchArgs parse(int argc, char** argv);
+};
+
+/// Print the standard bench banner: which figure/table of the paper this
+/// binary regenerates and at what scale.
+void print_banner(const std::string& figure, const std::string& description,
+                  const BenchArgs& args);
+
+}  // namespace frlfi::bench

@@ -1,0 +1,92 @@
+#include "drone_sweeps.hpp"
+
+#include <sstream>
+
+#include "core/stats.hpp"
+
+namespace frlfi::bench {
+
+DroneFrlSystem::Config bench_drone_config(std::size_t n_drones) {
+  DroneFrlSystem::Config cfg;
+  cfg.n_drones = n_drones;
+  return cfg;
+}
+
+namespace {
+
+std::vector<std::size_t> default_columns(std::size_t episodes) {
+  // Early / middle / late, mirroring the paper's 3-column panels.
+  return {episodes / 15, episodes / 2, episodes - episodes / 15};
+}
+
+std::vector<double> default_bers() { return {0.0, 1e-4, 1e-3, 1e-2, 1e-1}; }
+
+std::string ber_label(double ber) {
+  if (ber == 0.0) return "0";
+  std::ostringstream os;
+  os << ber;
+  return os.str();
+}
+
+}  // namespace
+
+Heatmap run_drone_training_sweep(const DroneSweepConfig& cfg) {
+  const std::vector<std::size_t> columns =
+      cfg.columns.empty() ? default_columns(cfg.episodes) : cfg.columns;
+  const std::vector<double> bers = cfg.bers.empty() ? default_bers() : cfg.bers;
+
+  std::ostringstream title;
+  title << "DroneNav training faults, site=" << to_string(cfg.site)
+        << ", n=" << cfg.n_drones << (cfg.mitigation ? ", mitigated" : "")
+        << " (cells: avg safe flight distance [m] over " << cfg.trials
+        << " trial(s))";
+  Heatmap map(title.str(), "BER", "fault episode");
+  {
+    std::vector<std::string> row_keys, col_keys;
+    for (double b : bers) row_keys.push_back(ber_label(b));
+    for (std::size_t c : columns) col_keys.push_back(std::to_string(c));
+    map.set_row_keys(std::move(row_keys));
+    map.set_col_keys(std::move(col_keys));
+  }
+
+  const DroneFrlSystem::Config sys_cfg = bench_drone_config(cfg.n_drones);
+
+  for (std::size_t r = 0; r < bers.size(); ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      RunningStats cell;
+      for (std::size_t t = 0; t < cfg.trials; ++t) {
+        DroneFrlSystem sys(sys_cfg, cfg.seed + 1000 * t);
+        if (bers[r] > 0.0) {
+          TrainingFaultPlan plan;
+          plan.active = true;
+          plan.spec.site = cfg.site;
+          plan.spec.model = FaultModel::TransientPersistent;
+          plan.spec.ber = bers[r];
+          plan.spec.episode = columns[c];
+          sys.set_fault_plan(plan);
+        }
+        if (cfg.mitigation) {
+          MitigationPlan mit;
+          mit.enabled = true;
+          mit.detector.drop_percent = 25.0;
+          // Paper: k=200 of 6000 episodes (~3.3%); scale to the budget.
+          mit.detector.consecutive_episodes =
+              std::max<std::size_t>(4, cfg.episodes / 30);
+          mit.detector.warmup_episodes = 10;
+          sys.set_mitigation(mit);
+        }
+        sys.train(cfg.episodes);
+        // Give the detector its (k + recovery) window for late faults;
+        // see the matching note in gridworld_sweeps.cpp.
+        if (cfg.mitigation)
+          sys.train(3 * std::max<std::size_t>(4, cfg.episodes / 30));
+        cell.add(sys.evaluate_flight_distance(cfg.eval_episodes,
+                                              cfg.seed + 7777 + t));
+      }
+      map.set(r, c, cell.mean());
+    }
+  }
+  return map;
+}
+
+}  // namespace frlfi::bench

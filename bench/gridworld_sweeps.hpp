@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file gridworld_sweeps.hpp
+/// Reusable GridWorld campaign sweeps shared by the Fig. 3 / Fig. 7
+/// benches: the (fault episode) x (BER) success-rate heatmaps of the
+/// paper, with optional §V-A mitigation.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/table.hpp"
+#include "fault/model.hpp"
+#include "frl/gridworld_system.hpp"
+
+namespace frlfi::bench {
+
+/// Configuration of one GridWorld training-fault heatmap campaign.
+struct GridSweepConfig {
+  /// Fault location (AgentFault / ServerFault).
+  FaultSite site = FaultSite::ServerFault;
+  /// 1 => the single-agent (no server) system of Fig. 3c.
+  std::size_t n_agents = 12;
+  /// Total training episodes (the paper's panels span 1000).
+  std::size_t episodes = 1000;
+  /// Fault-injection episodes (columns). Empty => 0,100,...,900.
+  std::vector<std::size_t> columns;
+  /// BER rows in percent. Empty => 0.2..2.0 in 10 steps (paper rows).
+  std::vector<double> bers_percent;
+  /// Greedy evaluation attempts per agent per cell.
+  std::size_t eval_attempts = 8;
+  /// Repetitions per cell.
+  std::size_t trials = 1;
+  std::uint64_t seed = 42;
+  /// Enable server checkpointing + reward-drop detection (Fig. 7a);
+  /// paper parameters p=25, k=50 (k scaled to the episode budget).
+  bool mitigation = false;
+};
+
+/// Run the campaign and return the success-rate heatmap (percent).
+Heatmap run_gridworld_training_sweep(const GridSweepConfig& cfg);
+
+}  // namespace frlfi::bench

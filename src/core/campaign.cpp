@@ -1,0 +1,20 @@
+#include "core/campaign.hpp"
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            const std::function<double(Rng&)>& trial_fn) {
+  FRLFI_CHECK(cfg.trials >= 1);
+  FRLFI_CHECK(static_cast<bool>(trial_fn));
+  CampaignResult result;
+  Rng base(cfg.seed);
+  for (std::size_t t = 0; t < cfg.trials; ++t) {
+    Rng trial_rng = base.split(t);
+    result.stats.add(trial_fn(trial_rng));
+  }
+  return result;
+}
+
+}  // namespace frlfi

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file campaign.hpp
+/// Repeated-trial campaign runner: the outer loop of every fault-injection
+/// experiment. Each trial receives an independent RNG stream derived from
+/// the campaign seed and its trial index, so campaigns are reproducible and
+/// trials are exchangeable.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+
+namespace frlfi {
+
+/// Configuration for a repeated-trial campaign.
+struct CampaignConfig {
+  /// Base seed; trial t uses stream split(seed, t).
+  std::uint64_t seed = 42;
+  /// Number of trials actually run (already scaled by the caller).
+  std::size_t trials = 1;
+};
+
+/// Result summary of a campaign: streaming stats over the per-trial metric.
+struct CampaignResult {
+  RunningStats stats;
+  /// 95% CI of the mean metric.
+  ConfidenceInterval ci() const { return ci95(stats); }
+};
+
+/// Run `cfg.trials` independent trials of `trial_fn`, which maps a
+/// per-trial RNG to a scalar metric (success rate, flight distance, ...).
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            const std::function<double(Rng&)>& trial_fn);
+
+}  // namespace frlfi

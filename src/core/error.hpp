@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by all FRL-FI modules.
+///
+/// The library distinguishes two failure classes:
+///  * programming errors / broken invariants -> FRLFI_CHECK (throws Error),
+///  * recoverable configuration problems     -> explicit Error throws with
+///    a descriptive message at the API boundary.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace frlfi {
+
+/// Exception type thrown by every FRL-FI precondition or invariant failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FRLFI_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace frlfi
+
+/// Verify a precondition/invariant; throws frlfi::Error on failure.
+/// Enabled in all build types: the campaigns are long-running statistical
+/// experiments and silent corruption is worse than an abort.
+#define FRLFI_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::frlfi::detail::raise_check_failure(#expr, __FILE__, __LINE__, ""); \
+    }                                                                      \
+  } while (false)
+
+/// FRLFI_CHECK with a streamed message, e.g.
+///   FRLFI_CHECK_MSG(a == b, "size mismatch: " << a << " vs " << b);
+#define FRLFI_CHECK_MSG(expr, msg_stream)                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream frlfi_check_os_;                                  \
+      frlfi_check_os_ << msg_stream;                                       \
+      ::frlfi::detail::raise_check_failure(#expr, __FILE__, __LINE__,      \
+                                           frlfi_check_os_.str());         \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,119 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_origin_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // A zero state would lock xoshiro at zero; SplitMix64 cannot emit four
+  // zero words for any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x1ULL;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  FRLFI_CHECK_MSG(lo <= hi, "uniform(lo,hi) with lo=" << lo << " hi=" << hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  FRLFI_CHECK(n > 0);
+  // Lemire's multiply-shift rejection method: unbiased.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FRLFI_CHECK_MSG(lo <= hi, "uniform_int with lo=" << lo << " hi=" << hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  FRLFI_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FRLFI_CHECK_MSG(w >= 0.0, "categorical weight " << w << " < 0");
+    total += w;
+  }
+  if (total <= 1e-300) return static_cast<std::size_t>(uniform_index(weights.size()));
+  double u = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point edge
+}
+
+Rng Rng::split(std::uint64_t tag) const {
+  // Mix the original seed with the tag through SplitMix64; independent of
+  // how much of the parent stream has been consumed, so split() is stable
+  // regardless of call ordering elsewhere.
+  SplitMix64 sm(seed_origin_ ^ (0x9E3779B97F4A7C15ULL * (tag + 1)));
+  return Rng(sm.next());
+}
+
+}  // namespace frlfi

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, stream-splittable random number generation.
+///
+/// All stochasticity in FRL-FI (environment resets, exploration, bit-flip
+/// sites, communication noise) flows from seeded Xoshiro256** streams so a
+/// campaign is reproducible bit-for-bit given (seed, scale). SplitMix64 is
+/// used to expand a single user seed into independent sub-streams, the
+/// scheme recommended by the xoshiro authors.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace frlfi {
+
+/// SplitMix64: tiny, high-quality seed expander (Steele et al.).
+/// Used both as a standalone generator for seeding and to derive
+/// independent sub-streams from a parent seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the main generator. Fast, 256-bit state, passes BigCrush.
+/// Satisfies UniformRandomBitGenerator so it can be used with <random>
+/// distributions, but the convenience members below avoid libstdc++
+/// distribution-implementation dependence for reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a 64-bit seed (expanded through SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x5EEDBA5EBA11ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() { return next_u64(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) using Lemire's unbiased method. n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Sample an index from an (unnormalized, non-negative) weight vector.
+  /// Falls back to uniform choice when the total weight is ~0.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Derive an independent child stream. Children with distinct tags are
+  /// statistically independent of the parent and of each other.
+  Rng split(std::uint64_t tag) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+  std::uint64_t seed_origin_ = 0;  // remembered for split()
+};
+
+}  // namespace frlfi

@@ -1,0 +1,36 @@
+#include "core/scale.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace frlfi {
+
+RunScale::RunScale() {
+  if (const char* env = std::getenv("FRLFI_SCALE")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) divisor_ = static_cast<std::size_t>(v);
+  }
+}
+
+RunScale& RunScale::instance() {
+  static RunScale scale;
+  return scale;
+}
+
+void RunScale::set_divisor(std::size_t d) { divisor_ = std::max<std::size_t>(1, d); }
+
+std::size_t RunScale::trials(std::size_t nominal) const {
+  return std::max<std::size_t>(1, nominal / divisor_);
+}
+
+std::size_t RunScale::episodes(std::size_t nominal, std::size_t floor_value) const {
+  return std::max(floor_value, nominal / divisor_);
+}
+
+std::size_t scaled_trials(std::size_t nominal) {
+  return RunScale::instance().trials(nominal);
+}
+
+}  // namespace frlfi

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file scale.hpp
+/// Campaign run-scale configuration.
+///
+/// The paper's campaigns repeat each fault-injection scenario 1000 times
+/// (GridWorld) or 100 times (DroneNav). That is cluster-scale compute; this
+/// library keeps the paper-scale numbers as the *nominal* values in code and
+/// divides them by a runtime scale factor taken from the FRLFI_SCALE
+/// environment variable (or set programmatically), so the same binaries run
+/// a statistically lighter but shape-preserving version on a laptop.
+
+#include <cstddef>
+
+namespace frlfi {
+
+/// Process-wide run-scale settings (read once, cached).
+class RunScale {
+ public:
+  /// The global instance. Reads FRLFI_SCALE on first access (default 20,
+  /// i.e. 1/20th of paper-scale trials); clamped to >= 1.
+  static RunScale& instance();
+
+  /// Current divisor.
+  std::size_t divisor() const { return divisor_; }
+
+  /// Override the divisor programmatically (tests/benches).
+  void set_divisor(std::size_t d);
+
+  /// Scale a nominal paper-scale trial count: max(1, nominal / divisor).
+  std::size_t trials(std::size_t nominal) const;
+
+  /// Scale a nominal episode count with a floor so training still converges.
+  std::size_t episodes(std::size_t nominal, std::size_t floor_value) const;
+
+ private:
+  RunScale();
+  std::size_t divisor_ = 20;
+};
+
+/// Shorthand for RunScale::instance().trials(nominal).
+std::size_t scaled_trials(std::size_t nominal);
+
+}  // namespace frlfi

@@ -1,0 +1,109 @@
+#include "dronesim/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace frlfi {
+namespace {
+
+double sq(double v) { return v * v; }
+
+double dist(Vec2 a, Vec2 b) { return std::sqrt(sq(a.x - b.x) + sq(a.y - b.y)); }
+
+}  // namespace
+
+ObstacleWorld::ObstacleWorld(std::uint64_t seed, Options opts)
+    : seed_(seed), opts_(opts) {
+  FRLFI_CHECK(opts_.cell_size > 0.0);
+  FRLFI_CHECK(opts_.density >= 0.0 && opts_.density <= 1.0);
+  FRLFI_CHECK(opts_.min_radius > 0.0 && opts_.max_radius >= opts_.min_radius);
+  FRLFI_CHECK_MSG(opts_.max_radius * 2.0 < opts_.cell_size,
+                  "obstacles must fit inside a cell");
+}
+
+std::uint64_t ObstacleWorld::cell_hash(std::int64_t cx, std::int64_t cy) const {
+  // SplitMix64 over a mix of seed and coordinates: decorrelated per cell.
+  std::uint64_t h = seed_;
+  h ^= static_cast<std::uint64_t>(cx) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(cy) * 0xC2B2AE3D27D4EB4FULL;
+  return SplitMix64(h).next();
+}
+
+std::optional<Obstacle> ObstacleWorld::obstacle_in_cell(std::int64_t cx,
+                                                        std::int64_t cy) const {
+  SplitMix64 sm(cell_hash(cx, cy));
+  const double u_exist =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  if (u_exist >= opts_.density) return std::nullopt;
+
+  const double u_r = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  const double radius =
+      opts_.min_radius + u_r * (opts_.max_radius - opts_.min_radius);
+
+  // Jitter the centre, keeping the full disk inside the cell so the 3x3
+  // neighbourhood search in collides()/clearance() is exhaustive.
+  const double margin = radius;
+  const double span = opts_.cell_size - 2.0 * margin;
+  const double u_x = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  const double u_y = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+
+  Obstacle ob;
+  ob.center.x =
+      static_cast<double>(cx) * opts_.cell_size + margin + u_x * span;
+  ob.center.y =
+      static_cast<double>(cy) * opts_.cell_size + margin + u_y * span;
+  ob.radius = radius;
+
+  // Spawn clearance: cells near the origin stay free.
+  if (std::sqrt(sq(ob.center.x) + sq(ob.center.y)) <
+      opts_.spawn_clearance + radius)
+    return std::nullopt;
+  return ob;
+}
+
+bool ObstacleWorld::collides(Vec2 p) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / opts_.cell_size));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / opts_.cell_size));
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto ob = obstacle_in_cell(cx + dx, cy + dy);
+      if (ob && dist(p, ob->center) < ob->radius) return true;
+    }
+  }
+  return false;
+}
+
+double ObstacleWorld::clearance(Vec2 p, double cap) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / opts_.cell_size));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / opts_.cell_size));
+  double best = cap;
+  for (std::int64_t dx = -2; dx <= 2; ++dx) {
+    for (std::int64_t dy = -2; dy <= 2; ++dy) {
+      const auto ob = obstacle_in_cell(cx + dx, cy + dy);
+      if (ob) best = std::min(best, dist(p, ob->center) - ob->radius);
+    }
+  }
+  return best;
+}
+
+double ObstacleWorld::cast_ray(Vec2 origin, double heading,
+                               double max_range) const {
+  FRLFI_CHECK(max_range > 0.0);
+  const Vec2 dir{std::cos(heading), std::sin(heading)};
+  // Coarse march with sphere-tracing acceleration: step by the clearance
+  // (never less than a fine floor), which is exact for circular obstacles.
+  double t = 0.0;
+  constexpr double kFloor = 0.25;
+  while (t < max_range) {
+    const Vec2 p{origin.x + dir.x * t, origin.y + dir.y * t};
+    const double c = clearance(p, max_range);
+    if (c <= 0.0) return t;
+    t += std::max(c, kFloor);
+  }
+  return max_range;
+}
+
+}  // namespace frlfi

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file world.hpp
+/// The drone's flight world: an unbounded 2.5-D plane scattered with
+/// cylindrical obstacles (tree trunks / poles / building corners), the
+/// substitution for PEDRA's Unreal environments documented in DESIGN.md.
+/// Obstacles are generated procedurally and *deterministically* from the
+/// world seed via coordinate hashing, so the world is infinite, needs no
+/// storage, and every (seed, position) query is reproducible.
+
+#include <cstdint>
+#include <optional>
+
+namespace frlfi {
+
+/// A 2-D point / vector in metres.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A cylindrical obstacle's footprint.
+struct Obstacle {
+  Vec2 center;
+  double radius = 1.0;
+};
+
+/// Procedural infinite obstacle field.
+class ObstacleWorld {
+ public:
+  /// Tuning parameters of the obstacle field.
+  struct Options {
+    /// Edge length of the hashing lattice [m]; at most one obstacle per cell.
+    double cell_size = 28.0;
+    /// Probability that a cell contains an obstacle.
+    double density = 0.45;
+    /// Obstacle radius range [m].
+    double min_radius = 2.0;
+    double max_radius = 5.0;
+    /// Radius around the spawn point kept obstacle-free [m]. Kept tight:
+    /// a large clear zone lets a faulted, circling policy rack up "safe"
+    /// distance forever without meeting an obstacle.
+    double spawn_clearance = 10.0;
+  };
+
+  /// Construct a world with the default obstacle statistics.
+  explicit ObstacleWorld(std::uint64_t seed) : ObstacleWorld(seed, Options{}) {}
+
+  /// Construct a world with explicit statistics.
+  ObstacleWorld(std::uint64_t seed, Options opts);
+
+  /// The obstacle owned by lattice cell (cx, cy), if any.
+  std::optional<Obstacle> obstacle_in_cell(std::int64_t cx, std::int64_t cy) const;
+
+  /// True when point p lies inside any obstacle.
+  bool collides(Vec2 p) const;
+
+  /// Signed clearance from p to the nearest obstacle surface within the
+  /// 5x5 cell neighbourhood (negative = inside an obstacle); returns
+  /// `cap` when nothing is nearby.
+  double clearance(Vec2 p, double cap = 100.0) const;
+
+  /// March a ray from `origin` along `heading` (radians) and return the
+  /// distance to the first obstacle surface, or `max_range` if free.
+  double cast_ray(Vec2 origin, double heading, double max_range) const;
+
+  /// World seed (diagnostics).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Options in force.
+  const Options& options() const { return opts_; }
+
+ private:
+  std::uint64_t cell_hash(std::int64_t cx, std::int64_t cy) const;
+
+  std::uint64_t seed_;
+  Options opts_;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file activation_injector.hpp
+/// Dynamic fault injection into layer activations ("feature maps and
+/// activations", §III-C). The injector attaches to a Network's activation
+/// hook and corrupts the tensor a layer just produced, through the same
+/// deployed-word abstraction as weight faults: activations are quantized
+/// to int8 per tensor (with range headroom, as accelerator activation
+/// buffers are), bits are flipped at the configured BER, and the result is
+/// dequantized back into the forward pass.
+
+#include <cstdint>
+#include <limits>
+
+#include "core/rng.hpp"
+#include "fault/model.hpp"
+#include "nn/network.hpp"
+
+namespace frlfi {
+
+/// Hook-based activation corruptor.
+///
+/// Usage:
+///   ActivationFaultInjector injector(opts, seed);
+///   injector.attach(network);           // installs the activation hook
+///   ... run forwards; faults strike per options ...
+///   injector.detach(network);           // removes the hook
+class ActivationFaultInjector {
+ public:
+  /// Injection options.
+  struct Options {
+    /// Per-bit flip probability applied to targeted activations.
+    double ber = 0.0;
+    /// Restrict injection to this layer index; kAllLayers = every layer.
+    std::size_t layer_index = kAllLayers;
+    /// Fault model: TransientSingleStep corrupts only the next forward
+    /// pass after arm(); TransientPersistent corrupts every forward pass
+    /// while attached (a stuck buffer).
+    FaultModel model = FaultModel::TransientSingleStep;
+    /// Direction constraint on flips.
+    FlipDirection direction = FlipDirection::Any;
+    /// Quantization-range headroom of the activation buffer.
+    float headroom = 2.0f;
+
+    static constexpr std::size_t kAllLayers =
+        std::numeric_limits<std::size_t>::max();
+  };
+
+  /// Create an injector; `seed` makes the flip pattern reproducible.
+  ActivationFaultInjector(Options opts, std::uint64_t seed);
+
+  /// Install this injector as the network's activation hook.
+  /// The injector must outlive the attachment.
+  void attach(Network& net);
+
+  /// Remove the hook (restores a hook-free network).
+  static void detach(Network& net);
+
+  /// Arm a single-step fault: the next forward pass gets corrupted
+  /// (TransientSingleStep model only; persistent faults are always live).
+  void arm();
+
+  /// Total bits flipped so far.
+  std::size_t bits_flipped() const { return flipped_; }
+
+  /// Forward passes that experienced at least one flip.
+  std::size_t corrupted_passes() const { return corrupted_passes_; }
+
+  /// The options in force.
+  const Options& options() const { return opts_; }
+
+ private:
+  void maybe_corrupt(std::size_t layer, Tensor& activation);
+
+  Options opts_;
+  Rng rng_;
+  bool armed_ = false;
+  bool pass_touched_ = false;
+  std::size_t last_layer_seen_ = 0;
+  std::size_t flipped_ = 0;
+  std::size_t corrupted_passes_ = 0;
+};
+
+}  // namespace frlfi

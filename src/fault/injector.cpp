@@ -1,0 +1,171 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "numeric/bitutil.hpp"
+#include "numeric/quantize.hpp"
+
+namespace frlfi {
+namespace {
+
+/// Apply the spec's temporal model to an integer byte buffer.
+std::size_t corrupt_bytes(std::span<std::uint8_t> bytes, const FaultSpec& spec,
+                          Rng& rng) {
+  switch (spec.model) {
+    case FaultModel::TransientSingleStep:
+    case FaultModel::TransientPersistent:
+      // Temporal scope (one read vs. until-overwritten) is handled by the
+      // caller (WeightRestoreGuard / training overwrite); the bit-level
+      // action is the same flip.
+      return flip_bits_ber(bytes, spec.ber, rng, spec.direction);
+    case FaultModel::StuckAt0:
+      return stick_bits_ber(bytes, spec.ber, false, rng);
+    case FaultModel::StuckAt1:
+      return stick_bits_ber(bytes, spec.ber, true, rng);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t flip_bits_ber(std::span<std::uint8_t> bytes, double ber, Rng& rng,
+                          FlipDirection direction) {
+  FRLFI_CHECK_MSG(ber >= 0.0 && ber <= 1.0, "BER " << ber);
+  if (ber == 0.0 || bytes.empty()) return 0;
+  std::size_t flipped = 0;
+  const std::size_t nbits = bit_count(bytes);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (!rng.bernoulli(ber)) continue;
+    const bool current = get_bit(bytes, i);
+    if (direction == FlipDirection::ZeroToOne && current) continue;
+    if (direction == FlipDirection::OneToZero && !current) continue;
+    flip_bit(bytes, i);
+    ++flipped;
+  }
+  return flipped;
+}
+
+std::size_t flip_bits_exact(std::span<std::uint8_t> bytes, std::size_t n_flips,
+                            Rng& rng) {
+  const std::size_t nbits = bit_count(bytes);
+  FRLFI_CHECK_MSG(n_flips <= nbits, n_flips << " flips in " << nbits << " bits");
+  if (n_flips == 0) return 0;
+  // Floyd's algorithm for distinct samples without building the full range.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(n_flips);
+  for (std::size_t j = nbits - n_flips; j < nbits; ++j) {
+    std::size_t t = static_cast<std::size_t>(rng.uniform_index(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) t = j;
+    chosen.push_back(t);
+  }
+  for (std::size_t i : chosen) flip_bit(bytes, i);
+  return n_flips;
+}
+
+std::size_t stick_bits_ber(std::span<std::uint8_t> bytes, double ber,
+                           bool value, Rng& rng) {
+  FRLFI_CHECK_MSG(ber >= 0.0 && ber <= 1.0, "BER " << ber);
+  if (ber == 0.0 || bytes.empty()) return 0;
+  std::size_t changed = 0;
+  const std::size_t nbits = bit_count(bytes);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (!rng.bernoulli(ber)) continue;
+    if (get_bit(bytes, i) != value) {
+      set_bit(bytes, i, value);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+InjectionReport inject_int8(std::vector<float>& weights, const FaultSpec& spec,
+                            Rng& rng, float headroom) {
+  FRLFI_CHECK_MSG(headroom >= 1.0f, "headroom " << headroom);
+  InjectionReport report;
+  if (weights.empty()) return report;
+  const Int8Quantizer base = Int8Quantizer::calibrate(weights);
+  const Int8Quantizer q(base.scale() * headroom);
+  std::vector<std::int8_t> qs = q.quantize(weights);
+  auto bytes = std::span<std::uint8_t>(
+      reinterpret_cast<std::uint8_t*>(qs.data()), qs.size());
+  report.bits_total = bit_count(bytes);
+  report.bits_flipped = corrupt_bytes(bytes, spec, rng);
+  weights = q.dequantize(qs);
+  return report;
+}
+
+InjectionReport inject_fixed_point(std::vector<float>& weights,
+                                   const FixedPointFormat& format,
+                                   const FaultSpec& spec, Rng& rng) {
+  InjectionReport report;
+  if (weights.empty()) return report;
+  const FixedPointCodec codec(format);
+  const int word_bits = format.word_bits();
+  report.bits_total = weights.size() * static_cast<std::size_t>(word_bits);
+  for (auto& w : weights) {
+    std::uint32_t raw = codec.encode(w);
+    bool touched = false;
+    for (int b = 0; b < word_bits; ++b) {
+      if (!rng.bernoulli(spec.ber)) continue;
+      const bool current = (raw >> b) & 1u;
+      switch (spec.model) {
+        case FaultModel::TransientSingleStep:
+        case FaultModel::TransientPersistent:
+          if (spec.direction == FlipDirection::ZeroToOne && current) continue;
+          if (spec.direction == FlipDirection::OneToZero && !current) continue;
+          raw = codec.flip_bit(raw, b);
+          ++report.bits_flipped;
+          touched = true;
+          break;
+        case FaultModel::StuckAt0:
+          if (current) {
+            raw = codec.flip_bit(raw, b);
+            ++report.bits_flipped;
+            touched = true;
+          }
+          break;
+        case FaultModel::StuckAt1:
+          if (!current) {
+            raw = codec.flip_bit(raw, b);
+            ++report.bits_flipped;
+            touched = true;
+          }
+          break;
+      }
+    }
+    // Decode unconditionally so every weight passes through the deployed
+    // representation (quantization noise included), touched or not.
+    (void)touched;
+    w = static_cast<float>(codec.decode(raw));
+  }
+  return report;
+}
+
+InjectionReport inject_network_weights(Network& net, const FaultSpec& spec,
+                                       Rng& rng) {
+  std::vector<float> flat = net.flat_parameters();
+  const InjectionReport report = inject_int8(flat, spec, rng);
+  net.set_flat_parameters(flat);
+  return report;
+}
+
+InjectionReport inject_layer_weights(Network& net, std::size_t layer_index,
+                                     const FaultSpec& spec, Rng& rng) {
+  InjectionReport report;
+  auto params = net.layer(layer_index).parameters();
+  for (Parameter* p : params) {
+    std::vector<float>& w = p->value.data();
+    const InjectionReport r = inject_int8(w, spec, rng);
+    report.bits_flipped += r.bits_flipped;
+    report.bits_total += r.bits_total;
+  }
+  return report;
+}
+
+WeightRestoreGuard::WeightRestoreGuard(Network& net)
+    : net_(&net), saved_(net.flat_parameters()) {}
+
+WeightRestoreGuard::~WeightRestoreGuard() { net_->set_flat_parameters(saved_); }
+
+}  // namespace frlfi

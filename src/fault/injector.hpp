@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file injector.hpp
+/// Bit-flip injection primitives. All weight-domain injection happens in a
+/// deployed representation: int8 (the paper's 8-bit quantized policies) or
+/// a Q(s,i,f) fixed-point word (the §IV-B.3 data-type study). Floats are
+/// quantized, bits are corrupted in the integer domain, and the result is
+/// dequantized back into the float weights the network executes with —
+/// "fault models as native tensor operations" (§III-D).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "fault/model.hpp"
+#include "nn/network.hpp"
+#include "numeric/fixed_point.hpp"
+
+namespace frlfi {
+
+/// Statistics of one injection.
+struct InjectionReport {
+  /// Bits actually flipped (or forced, for stuck-at).
+  std::size_t bits_flipped = 0;
+  /// Total bits in the target buffer.
+  std::size_t bits_total = 0;
+};
+
+/// Flip each bit of the buffer independently with probability `ber`,
+/// honouring the direction constraint (ZeroToOne only flips bits that are
+/// currently 0, etc.). Returns the number of bits flipped.
+std::size_t flip_bits_ber(std::span<std::uint8_t> bytes, double ber, Rng& rng,
+                          FlipDirection direction = FlipDirection::Any);
+
+/// Flip exactly `n_flips` distinct uniformly-chosen bits (the paper's
+/// "number of faults" axis). n_flips must not exceed the bit count.
+std::size_t flip_bits_exact(std::span<std::uint8_t> bytes, std::size_t n_flips,
+                            Rng& rng);
+
+/// Force each bit to `value` independently with probability `ber`
+/// (stuck-at model). Returns the number of bits whose value changed.
+std::size_t stick_bits_ber(std::span<std::uint8_t> bytes, double ber,
+                           bool value, Rng& rng);
+
+/// Corrupt a float buffer through its int8-quantized representation
+/// according to the spec's model/BER/direction. The buffer is modified in
+/// place.
+///
+/// `headroom` scales the quantization range beyond max|w| (default 1 =
+/// tight calibration). Online-fine-tuned deployments use a fixed scale
+/// with headroom so growing weights stay representable; flips into the
+/// high bits of such words produce values up to headroom * max|w| — the
+/// out-of-range outliers the §V-B range detector exists to catch.
+InjectionReport inject_int8(std::vector<float>& weights, const FaultSpec& spec,
+                            Rng& rng, float headroom = 1.0f);
+
+/// Corrupt a float buffer through a fixed-point representation (data-type
+/// resilience study). The buffer is modified in place.
+InjectionReport inject_fixed_point(std::vector<float>& weights,
+                                   const FixedPointFormat& format,
+                                   const FaultSpec& spec, Rng& rng);
+
+/// Corrupt every parameter tensor of a network in the int8 domain.
+InjectionReport inject_network_weights(Network& net, const FaultSpec& spec,
+                                       Rng& rng);
+
+/// Corrupt only the parameters of layer `layer_index` (per-layer
+/// vulnerability ablation).
+InjectionReport inject_layer_weights(Network& net, std::size_t layer_index,
+                                     const FaultSpec& spec, Rng& rng);
+
+/// RAII guard that snapshots a network's parameters and restores them on
+/// destruction — the mechanism behind Trans-1 (single-read) faults.
+class WeightRestoreGuard {
+ public:
+  /// Snapshot now; restore at scope exit.
+  explicit WeightRestoreGuard(Network& net);
+  ~WeightRestoreGuard();
+  WeightRestoreGuard(const WeightRestoreGuard&) = delete;
+  WeightRestoreGuard& operator=(const WeightRestoreGuard&) = delete;
+
+ private:
+  Network* net_;
+  std::vector<float> saved_;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,55 @@
+#include "federated/channel.hpp"
+
+#include <span>
+
+#include "core/error.hpp"
+#include "fault/injector.hpp"
+#include "numeric/quantize.hpp"
+
+namespace frlfi {
+
+CommChannel::CommChannel(double bit_error_rate) : ber_(bit_error_rate) {
+  FRLFI_CHECK_MSG(ber_ >= 0.0 && ber_ <= 1.0, "channel BER " << ber_);
+}
+
+void CommChannel::set_bit_error_rate(double ber) {
+  FRLFI_CHECK_MSG(ber >= 0.0 && ber <= 1.0, "channel BER " << ber);
+  ber_ = ber;
+}
+
+std::vector<float> CommChannel::transmit(const std::vector<float>& payload,
+                                         Rng& rng) {
+  ++messages_;
+  if (payload.empty()) return payload;
+  // Wire format: 8-bit body (1 byte per parameter — the paper's policies
+  // are 8-bit quantized over the air) plus a protected scale header.
+  // Elements untouched by channel errors are delivered losslessly: the
+  // endpoints share the codec, so a clean link is exact, while an element
+  // that takes a bit flip materializes the corrupted quantized word.
+  bytes_ += payload.size() + sizeof(float);
+  if (ber_ <= 0.0) return payload;
+
+  const Int8Quantizer q = Int8Quantizer::calibrate(payload);
+  std::vector<float> out = payload;
+  for (auto& v : out) {
+    std::uint8_t word = static_cast<std::uint8_t>(q.quantize(v));
+    bool touched = false;
+    for (int b = 0; b < 8; ++b) {
+      if (rng.bernoulli(ber_)) {
+        word = static_cast<std::uint8_t>(word ^ (1u << b));
+        touched = true;
+        ++corrupted_;
+      }
+    }
+    if (touched) v = q.dequantize(static_cast<std::int8_t>(word));
+  }
+  return out;
+}
+
+void CommChannel::reset_counters() {
+  messages_ = 0;
+  bytes_ = 0;
+  corrupted_ = 0;
+}
+
+}  // namespace frlfi

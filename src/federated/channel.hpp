@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file channel.hpp
+/// The agent<->server communication link. Transports int8-quantized
+/// parameter payloads, optionally corrupting them with a wireless bit
+/// error rate (interference/distortion/synchronization faults, §III-C),
+/// and accounts communication cost (the Fig. 6b trade-off metric).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace frlfi {
+
+/// A lossy parameter transport with cost accounting.
+class CommChannel {
+ public:
+  /// \param bit_error_rate  per-bit flip probability applied to every
+  ///        payload in transit (0 = clean channel).
+  explicit CommChannel(double bit_error_rate = 0.0);
+
+  /// Transmit a parameter vector: quantize to int8, flip bits at the
+  /// channel BER, dequantize. Clean channels still round-trip through
+  /// int8 — the over-the-air representation is quantized either way.
+  std::vector<float> transmit(const std::vector<float>& payload, Rng& rng);
+
+  /// Channel BER currently in force.
+  double bit_error_rate() const { return ber_; }
+
+  /// Change the channel BER (fault-scenario control).
+  void set_bit_error_rate(double ber);
+
+  /// Messages transmitted so far.
+  std::size_t messages_sent() const { return messages_; }
+
+  /// Total payload bytes transmitted so far (int8 wire format).
+  std::size_t bytes_sent() const { return bytes_; }
+
+  /// Bits flipped in transit so far.
+  std::size_t bits_corrupted() const { return corrupted_; }
+
+  /// Reset the cost/corruption counters.
+  void reset_counters();
+
+ private:
+  double ber_;
+  std::size_t messages_ = 0;
+  std::size_t bytes_ = 0;
+  std::size_t corrupted_ = 0;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,49 @@
+#include "federated/server.hpp"
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+ParameterServer::ParameterServer(std::size_t n_agents, std::size_t parameter_dim,
+                                 AlphaSchedule schedule)
+    : n_(n_agents), dim_(parameter_dim), schedule_(schedule) {
+  FRLFI_CHECK_MSG(n_ >= 2, "ParameterServer needs >= 2 agents");
+  FRLFI_CHECK(dim_ > 0);
+}
+
+std::vector<std::vector<float>> ParameterServer::communicate(
+    const std::vector<std::vector<float>>& agent_parameters, Rng& rng) {
+  FRLFI_CHECK_MSG(agent_parameters.size() == n_,
+                  "got " << agent_parameters.size() << " uploads for " << n_
+                         << " agents");
+  // Uplink.
+  std::vector<std::vector<float>> uploads;
+  uploads.reserve(n_);
+  for (const auto& p : agent_parameters) {
+    FRLFI_CHECK_MSG(p.size() == dim_, "upload size " << p.size());
+    uploads.push_back(channel_.transmit(p, rng));
+  }
+
+  // Aggregate.
+  std::vector<std::vector<float>> aggregated =
+      smoothing_average(uploads, schedule_.at(round_));
+  consensus_ = mean_parameters(aggregated);
+
+  // Post-aggregation hook (fault injection, checkpoint restore).
+  if (hook_) hook_(round_, aggregated);
+
+  // Downlink.
+  std::vector<std::vector<float>> downlinks;
+  downlinks.reserve(n_);
+  for (const auto& p : aggregated) downlinks.push_back(channel_.transmit(p, rng));
+
+  ++round_;
+  return downlinks;
+}
+
+void ParameterServer::set_post_aggregate_hook(
+    std::function<void(std::size_t, std::vector<std::vector<float>>&)> hook) {
+  hook_ = std::move(hook);
+}
+
+}  // namespace frlfi

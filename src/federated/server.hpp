@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file server.hpp
+/// The designated-agent parameter server of the FRL system: collects
+/// per-agent uploads over a CommChannel, runs the smoothing average, and
+/// broadcasts the per-agent results back. Fault hooks allow corrupting the
+/// aggregated state (the paper's "server faults"), and the mitigation
+/// module attaches its checkpoint store here.
+
+#include <functional>
+#include <vector>
+
+#include "federated/aggregation.hpp"
+#include "federated/channel.hpp"
+
+namespace frlfi {
+
+/// Smoothing-average parameter server over n agents.
+class ParameterServer {
+ public:
+  /// \param n_agents       number of federated agents (>= 2).
+  /// \param parameter_dim  flat parameter vector length.
+  /// \param schedule       alpha_k consensus schedule.
+  ParameterServer(std::size_t n_agents, std::size_t parameter_dim,
+                  AlphaSchedule schedule);
+
+  /// Number of agents.
+  std::size_t agent_count() const { return n_; }
+
+  /// Flat parameter length.
+  std::size_t parameter_dim() const { return dim_; }
+
+  /// Communication rounds completed.
+  std::size_t round() const { return round_; }
+
+  /// Reset the round counter (used when restoring a training snapshot so
+  /// the alpha_k schedule resumes from the right point).
+  void set_round(std::size_t round) { round_ = round; }
+
+  /// The uplink/downlink channel (shared by all agents; cost counters
+  /// accumulate across the whole swarm).
+  CommChannel& channel() { return channel_; }
+  const CommChannel& channel() const { return channel_; }
+
+  /// Run one communication round: each agent's parameters are transmitted
+  /// up, smoothed, passed through the post-aggregation hook (fault
+  /// injection / checkpoint restore), and transmitted back down. Returns
+  /// the per-agent downlink payloads.
+  std::vector<std::vector<float>> communicate(
+      const std::vector<std::vector<float>>& agent_parameters, Rng& rng);
+
+  /// Hook invoked after aggregation but before the downlink, receiving the
+  /// mutable per-agent aggregated vectors and the round index. This is
+  /// where ServerFault injection and checkpoint-based recovery attach.
+  void set_post_aggregate_hook(
+      std::function<void(std::size_t round, std::vector<std::vector<float>>&)> hook);
+
+  /// Mean of the last aggregated parameters (the consensus policy); empty
+  /// before the first round.
+  const std::vector<float>& consensus() const { return consensus_; }
+
+ private:
+  std::size_t n_;
+  std::size_t dim_;
+  AlphaSchedule schedule_;
+  CommChannel channel_;
+  std::size_t round_ = 0;
+  std::vector<float> consensus_;
+  std::function<void(std::size_t, std::vector<std::vector<float>>&)> hook_;
+};
+
+}  // namespace frlfi

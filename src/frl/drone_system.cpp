@@ -1,0 +1,362 @@
+#include "frl/drone_system.hpp"
+
+#include "frl/persist.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+#include "dronesim/heuristic.hpp"
+#include "federated/aggregation.hpp"
+#include "frl/policies.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace frlfi {
+
+DroneFrlSystem::Config::Config() {
+  // DroneNav flies long episodes; tune the defaults for the task scale.
+  learner.gamma = 0.97f;
+  learner.learning_rate = 2e-4f;
+  // Default fine-tuning environment: faster steps so a 750 m flight fits
+  // in a few hundred decisions (see DESIGN.md runtime budget).
+  env.dt = 0.75;
+  env.min_speed = 1.5;
+  env.max_speed = 7.5;
+  learner.max_steps = env.max_steps;
+}
+
+const std::vector<float>& DroneFrlSystem::pretrained_parameters(
+    const Config& cfg, std::uint64_t seed) {
+  // Cache key: the seed plus the env knobs that change what is learned.
+  static std::map<std::uint64_t, std::vector<float>> cache;
+  const std::uint64_t key =
+      seed ^ (static_cast<std::uint64_t>(cfg.imitation_episodes) << 32) ^
+      (static_cast<std::uint64_t>(cfg.pretrain_reinforce_episodes) << 44);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  Rng rng = Rng(seed).split(0x0FF11E);
+  Network net = make_drone_policy(rng);
+  DroneNavEnv env(seed ^ 0x0FF11E5EEDULL, cfg.env, DroneCamera::Options{});
+  HeuristicPilot pilot(env);
+
+  // Phase 1: DAgger-style imitation. The *student* increasingly drives
+  // (so training covers the states the student will actually visit — plain
+  // behaviour cloning suffers compounding drift), while every visited
+  // state is labelled by the teacher and regressed with cross-entropy
+  // (policy-gradient grad at advantage 1).
+  {
+    SgdOptimizer opt(net, {.learning_rate = cfg.imitation_lr,
+                           .momentum = 0.9f,
+                           .clip_norm = 5.0f});
+    std::size_t batch = 0;
+    for (std::size_t ep = 0; ep < cfg.imitation_episodes; ++ep) {
+      Rng ep_rng = rng.split(1000 + ep);
+      const double p_student =
+          0.9 * static_cast<double>(ep) /
+          static_cast<double>(std::max<std::size_t>(1, cfg.imitation_episodes));
+      Tensor obs = env.reset(ep_rng);
+      for (std::size_t t = 0; t < cfg.env.max_steps; ++t) {
+        const std::size_t teacher = pilot.act(env);
+        const Tensor logits = net.forward(obs);
+        net.backward(policy_gradient_grad(logits, teacher, 1.0f));
+        if (++batch % 16 == 0) opt.step();
+        const std::size_t drive =
+            ep_rng.bernoulli(p_student) ? logits.argmax() : teacher;
+        StepResult r = env.step(drive, ep_rng);
+        if (r.done) break;
+        obs = std::move(r.observation);
+      }
+      opt.step();
+    }
+  }
+
+  // Phase 2: REINFORCE polish so the policy optimizes the task reward it
+  // will keep fine-tuning on.
+  {
+    ReinforceTrainer trainer(net, cfg.learner);
+    for (std::size_t ep = 0; ep < cfg.pretrain_reinforce_episodes; ++ep) {
+      Rng ep_rng = rng.split(5000 + ep);
+      trainer.run_episode(env, ep_rng, /*learn=*/true);
+    }
+  }
+
+  auto [pos, inserted] = cache.emplace(key, net.flat_parameters());
+  FRLFI_CHECK(inserted);
+  return pos->second;
+}
+
+DroneFrlSystem::DroneFrlSystem(Config cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      seed_(seed),
+      train_rng_(Rng(seed).split(0xD201E)),
+      checkpoints_(5) {
+  FRLFI_CHECK_MSG(cfg_.n_drones >= 1, "need at least one drone");
+  FRLFI_CHECK(cfg_.comm_interval >= 1);
+  FRLFI_CHECK(cfg_.comm_interval_boost >= 1);
+
+  const std::vector<float>& pretrained = pretrained_parameters(cfg_, seed);
+  // Every drone starts from the shared offline-pretrained policy (see
+  // pretrained_parameters); topology init RNG is irrelevant because the
+  // parameters are overwritten, but keep it deterministic anyway.
+  Rng init_rng = Rng(seed).split(0x1718);
+  for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
+    envs_.push_back(std::make_unique<DroneNavEnv>(
+        seed ^ (0xD60E'0000ULL + i), cfg_.env, DroneCamera::Options{}));
+    Rng net_rng = init_rng.split(i);
+    nets_.push_back(std::make_unique<Network>(make_drone_policy(net_rng)));
+    nets_.back()->set_flat_parameters(pretrained);
+    learners_.push_back(
+        std::make_unique<ReinforceTrainer>(*nets_.back(), cfg_.learner));
+  }
+
+  if (cfg_.n_drones >= 2) {
+    server_.emplace(cfg_.n_drones, nets_[0]->parameter_count(),
+                    AlphaSchedule(cfg_.n_drones, cfg_.alpha0, cfg_.alpha_tau));
+    server_->channel().set_bit_error_rate(cfg_.channel_ber);
+    server_->set_post_aggregate_hook(
+        [this](std::size_t /*round*/, std::vector<std::vector<float>>& agg) {
+          if (!server_fault_pending_) return;
+          server_fault_pending_ = false;
+          Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+          for (auto& params : agg)
+            inject_int8(params, fault_plan_.spec, fault_rng);
+        });
+  }
+}
+
+void DroneFrlSystem::set_fault_plan(const TrainingFaultPlan& plan) {
+  if (plan.active && plan.spec.site == FaultSite::AgentFault)
+    FRLFI_CHECK_MSG(plan.spec.agent_index < cfg_.n_drones,
+                    "agent_index " << plan.spec.agent_index);
+  fault_plan_ = plan;
+}
+
+void DroneFrlSystem::set_mitigation(const MitigationPlan& plan) {
+  mitigation_ = plan;
+  if (plan.enabled) {
+    monitor_.emplace(cfg_.n_drones, plan.detector);
+    checkpoints_ = CheckpointStore(plan.checkpoint_interval);
+    mit_stats_ = MitigationStats{};
+  } else {
+    monitor_.reset();
+  }
+}
+
+std::size_t DroneFrlSystem::effective_comm_interval() const {
+  if (episode_ >= cfg_.boost_after_episode)
+    return cfg_.comm_interval * cfg_.comm_interval_boost;
+  return cfg_.comm_interval;
+}
+
+std::vector<float> DroneFrlSystem::consensus_params() const {
+  std::vector<std::vector<float>> all;
+  all.reserve(nets_.size());
+  for (const auto& n : nets_) all.push_back(n->flat_parameters());
+  return mean_parameters(all);
+}
+
+void DroneFrlSystem::inject_training_fault_if_due() {
+  if (!fault_plan_.active || episode_ != fault_plan_.spec.episode) return;
+  switch (fault_plan_.spec.site) {
+    case FaultSite::AgentFault: {
+      const std::size_t victim =
+          std::min(fault_plan_.spec.agent_index, cfg_.n_drones - 1);
+      Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+      inject_network_weights(*nets_[victim], fault_plan_.spec, fault_rng);
+      break;
+    }
+    case FaultSite::ServerFault: {
+      if (server_) {
+        server_fault_pending_ = true;
+      } else {
+        Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+        inject_network_weights(*nets_[0], fault_plan_.spec, fault_rng);
+      }
+      break;
+    }
+    case FaultSite::Activations:
+      break;
+  }
+}
+
+void DroneFrlSystem::communicate_if_due() {
+  if (!server_) return;
+  if ((episode_ + 1) % effective_comm_interval() != 0) return;
+
+  std::vector<std::vector<float>> uploads;
+  uploads.reserve(nets_.size());
+  for (const auto& n : nets_) uploads.push_back(n->flat_parameters());
+
+  Rng comm_rng = train_rng_.split(0xC0111 + episode_);
+  const std::vector<std::vector<float>> downlinks =
+      server_->communicate(uploads, comm_rng);
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    nets_[i]->set_flat_parameters(downlinks[i]);
+
+  if (mitigation_.enabled && !(monitor_ && monitor_->suspicious())) {
+    if (checkpoints_.offer(server_->round(), server_->consensus()))
+      ++mit_stats_.checkpoints_taken;
+  }
+}
+
+void DroneFrlSystem::apply_mitigation(const std::vector<double>& rewards) {
+  if (!mitigation_.enabled || !monitor_) return;
+  const DetectedFault verdict = monitor_->observe(rewards);
+  if (verdict == DetectedFault::None || !checkpoints_.has_checkpoint()) return;
+
+  if (verdict == DetectedFault::Agent) {
+    for (std::size_t drone : monitor_->flagged_agents())
+      nets_[drone]->set_flat_parameters(checkpoints_.restore());
+    ++mit_stats_.agent_recoveries;
+  } else {
+    for (auto& n : nets_) n->set_flat_parameters(checkpoints_.restore());
+    ++mit_stats_.server_recoveries;
+  }
+  monitor_->acknowledge();
+}
+
+void DroneFrlSystem::run_training_episode() {
+  std::vector<double> rewards(cfg_.n_drones, 0.0);
+  for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
+    Rng ep_rng = train_rng_.split(episode_ * 1000003ULL + i);
+    const EpisodeStats stats =
+        learners_[i]->run_episode(*envs_[i], ep_rng, /*learn=*/true);
+    rewards[i] = stats.total_reward;
+  }
+  inject_training_fault_if_due();
+  communicate_if_due();
+  apply_mitigation(rewards);
+  ++episode_;
+}
+
+void DroneFrlSystem::train(std::size_t episodes) {
+  for (std::size_t e = 0; e < episodes; ++e) run_training_episode();
+}
+
+double DroneFrlSystem::evaluate_flight_distance(std::size_t episodes_per_drone,
+                                                std::uint64_t seed) {
+  FRLFI_CHECK(episodes_per_drone >= 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
+    Rng eval_rng = Rng(seed).split(0xE7A2 + i);
+    for (std::size_t e = 0; e < episodes_per_drone; ++e) {
+      greedy_episode(*nets_[i], *envs_[i], eval_rng, cfg_.env.max_steps);
+      total += envs_[i]->flight_distance();
+    }
+  }
+  return total /
+         static_cast<double>(cfg_.n_drones * episodes_per_drone);
+}
+
+Network DroneFrlSystem::consensus_network() const {
+  Network net = nets_[0]->clone();
+  net.set_flat_parameters(consensus_params());
+  return net;
+}
+
+double DroneFrlSystem::evaluate_inference_fault(
+    const InferenceFaultScenario& scenario, std::size_t episodes_per_drone,
+    std::uint64_t seed) {
+  Network policy = consensus_network();
+  Rng fault_rng = Rng(seed).split(0xFA53);
+
+  const bool trans1 =
+      scenario.spec.model == FaultModel::TransientSingleStep;
+  if (!trans1) apply_static_inference_fault(policy, scenario, fault_rng);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
+    Rng eval_rng = Rng(seed).split(0xE7A2 + i);
+    for (std::size_t e = 0; e < episodes_per_drone; ++e) {
+      if (trans1) {
+        greedy_episode_trans1(policy, *envs_[i], eval_rng, cfg_.env.max_steps,
+                              scenario);
+      } else {
+        greedy_episode(policy, *envs_[i], eval_rng, cfg_.env.max_steps);
+      }
+      total += envs_[i]->flight_distance();
+    }
+  }
+  return total /
+         static_cast<double>(cfg_.n_drones * episodes_per_drone);
+}
+
+DroneFrlSystem::Snapshot DroneFrlSystem::snapshot() const {
+  Snapshot snap;
+  snap.episode = episode_;
+  snap.round = server_ ? server_->round() : 0;
+  for (const auto& n : nets_) snap.drone_params.push_back(n->flat_parameters());
+  for (const auto& l : learners_) snap.baselines.push_back(l->baseline_state());
+  return snap;
+}
+
+void DroneFrlSystem::restore(const Snapshot& snap) {
+  FRLFI_CHECK_MSG(snap.drone_params.size() == nets_.size(),
+                  "snapshot drone count mismatch");
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    nets_[i]->set_flat_parameters(snap.drone_params[i]);
+  FRLFI_CHECK(snap.baselines.size() == learners_.size());
+  for (std::size_t i = 0; i < learners_.size(); ++i)
+    learners_[i]->set_baseline_state(snap.baselines[i]);
+  episode_ = snap.episode;
+  if (server_) server_->set_round(snap.round);
+  server_fault_pending_ = false;
+  if (mitigation_.enabled) set_mitigation(mitigation_);
+}
+
+void DroneFrlSystem::save(std::ostream& os) const {
+  persist::write_header(os, 1);
+  const Snapshot snap = snapshot();
+  persist::write_u64(os, snap.episode);
+  persist::write_u64(os, snap.round);
+  persist::write_u64(os, snap.drone_params.size());
+  for (const auto& p : snap.drone_params) persist::write_floats(os, p);
+  for (const auto& b : snap.baselines) {
+    persist::write_floats(os, {b.value});
+    persist::write_u64(os, b.initialized ? 1 : 0);
+  }
+}
+
+void DroneFrlSystem::load(std::istream& is) {
+  const std::uint32_t version = persist::read_header(is);
+  FRLFI_CHECK_MSG(version == 1, "unsupported state version " << version);
+  Snapshot snap;
+  snap.episode = static_cast<std::size_t>(persist::read_u64(is));
+  snap.round = static_cast<std::size_t>(persist::read_u64(is));
+  const std::uint64_t n = persist::read_u64(is);
+  FRLFI_CHECK_MSG(n == nets_.size(), "state holds " << n << " drones, system has "
+                                                    << nets_.size());
+  for (std::uint64_t i = 0; i < n; ++i)
+    snap.drone_params.push_back(persist::read_floats(is));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ReinforceTrainer::BaselineState b;
+    const std::vector<float> v = persist::read_floats(is);
+    FRLFI_CHECK(v.size() == 1);
+    b.value = v[0];
+    b.initialized = persist::read_u64(is) != 0;
+    snap.baselines.push_back(b);
+  }
+  restore(snap);
+}
+
+std::size_t DroneFrlSystem::communication_bytes() const {
+  return server_ ? server_->channel().bytes_sent() : 0;
+}
+
+std::size_t DroneFrlSystem::communication_rounds() const {
+  return server_ ? server_->round() : 0;
+}
+
+Network& DroneFrlSystem::drone_network(std::size_t drone) {
+  FRLFI_CHECK(drone < nets_.size());
+  return *nets_[drone];
+}
+
+DroneNavEnv& DroneFrlSystem::drone_env(std::size_t drone) {
+  FRLFI_CHECK(drone < envs_.size());
+  return *envs_[drone];
+}
+
+}  // namespace frlfi

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file drone_system.hpp
+/// The paper's DroneNav FRL system (§IV-B): n drones (paper: 4) flying
+/// independent procedurally-generated worlds, each fine-tuning a shared
+/// conv policy online with REINFORCE after an offline pretraining phase,
+/// and periodically synchronizing through the smoothing-average server.
+///
+/// Offline pretraining substitution (documented in DESIGN.md): PEDRA
+/// pretrains with a long offline REINFORCE run on Unreal environments;
+/// here the offline phase is imitation of a depth-greedy reference pilot
+/// followed by a short REINFORCE polish. The resulting policy plays the
+/// same role — a competent initial policy that online FRL fine-tunes —
+/// at a laptop-compatible cost. Pretrained parameters are cached
+/// per-seed within the process so campaign cells share the (deterministic)
+/// offline phase, exactly as the paper shares one pretrained model.
+
+#include <memory>
+#include <optional>
+
+#include "dronesim/drone_env.hpp"
+#include "federated/server.hpp"
+#include "frl/evaluation.hpp"
+#include "frl/plans.hpp"
+#include "mitigation/checkpoint.hpp"
+#include "mitigation/reward_monitor.hpp"
+#include "rl/reinforce.hpp"
+
+namespace frlfi {
+
+/// End-to-end DroneNav FRL system.
+class DroneFrlSystem {
+ public:
+  /// System configuration. `fine_tune_episodes` at paper scale is 6000;
+  /// benches scale it down and say so in EXPERIMENTS.md.
+  struct Config {
+    /// Number of drones; 1 selects the single-drone system of Fig. 5c.
+    std::size_t n_drones = 4;
+    /// Episodes between communication rounds.
+    std::size_t comm_interval = 2;
+    /// Fig. 6b: after this episode the interval multiplies by
+    /// `comm_interval_boost` (paper boosts 2x/3x after episode 2000).
+    std::size_t boost_after_episode = std::size_t(-1);
+    std::size_t comm_interval_boost = 1;
+    /// Smoothing-average schedule.
+    double alpha0 = 0.5;
+    double alpha_tau = 40.0;
+    /// Channel bit error rate (0 = clean links).
+    double channel_ber = 0.0;
+    /// REINFORCE hyperparameters for online fine-tuning.
+    ReinforceTrainer::Options learner;
+    /// Environment/task parameters.
+    DroneNavEnv::Options env;
+    /// Offline phase: DAgger imitation episodes and REINFORCE polish
+    /// episodes (polish off by default; fine-tuning continues online).
+    std::size_t imitation_episodes = 120;
+    std::size_t pretrain_reinforce_episodes = 0;
+    float imitation_lr = 5e-3f;
+
+    Config();
+  };
+
+  /// Training-state snapshot for shared-prefix sweeps.
+  struct Snapshot {
+    std::vector<std::vector<float>> drone_params;
+    std::vector<ReinforceTrainer::BaselineState> baselines;
+    std::size_t episode = 0;
+    std::size_t round = 0;
+  };
+
+  /// Build the system (runs or reuses the cached offline pretraining).
+  DroneFrlSystem(Config cfg, std::uint64_t seed);
+
+  /// Arm/disarm a training-time fault.
+  void set_fault_plan(const TrainingFaultPlan& plan);
+
+  /// Enable/disable the §V-A mitigation scheme.
+  void set_mitigation(const MitigationPlan& plan);
+
+  /// Fine-tune online for `episodes` more episodes.
+  void train(std::size_t episodes);
+
+  /// Fine-tuning episodes completed so far.
+  std::size_t episode() const { return episode_; }
+
+  /// Average greedy safe flight distance [m] over all drones,
+  /// `episodes_per_drone` each — the paper's DroneNav metric.
+  double evaluate_flight_distance(std::size_t episodes_per_drone,
+                                  std::uint64_t seed);
+
+  /// A fresh network holding the consensus (mean) policy parameters.
+  Network consensus_network() const;
+
+  /// Evaluate inference under a fault scenario on the consensus policy;
+  /// returns average safe flight distance [m].
+  double evaluate_inference_fault(const InferenceFaultScenario& scenario,
+                                  std::size_t episodes_per_drone,
+                                  std::uint64_t seed);
+
+  /// Capture / restore training state.
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Persist / reload the training state (binary). The loading system
+  /// must have been constructed with the same configuration.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  /// Mitigation counters.
+  const MitigationStats& mitigation_stats() const { return mit_stats_; }
+
+  /// Uplink+downlink communication bytes so far (0 for single drone).
+  std::size_t communication_bytes() const;
+
+  /// Communication rounds so far (0 for single drone).
+  std::size_t communication_rounds() const;
+
+  /// Direct access to a drone's network.
+  Network& drone_network(std::size_t drone);
+
+  /// Direct access to a drone's environment.
+  DroneNavEnv& drone_env(std::size_t drone);
+
+  /// The configuration in force.
+  const Config& config() const { return cfg_; }
+
+  /// The (deterministic) pretrained offline parameters for a seed/config;
+  /// computed once per process and cached.
+  static const std::vector<float>& pretrained_parameters(const Config& cfg,
+                                                         std::uint64_t seed);
+
+ private:
+  void run_training_episode();
+  void communicate_if_due();
+  void inject_training_fault_if_due();
+  void apply_mitigation(const std::vector<double>& rewards);
+  std::size_t effective_comm_interval() const;
+  std::vector<float> consensus_params() const;
+
+  Config cfg_;
+  std::uint64_t seed_;
+  Rng train_rng_;
+  std::vector<std::unique_ptr<DroneNavEnv>> envs_;
+  std::vector<std::unique_ptr<Network>> nets_;
+  std::vector<std::unique_ptr<ReinforceTrainer>> learners_;
+  std::optional<ParameterServer> server_;
+  TrainingFaultPlan fault_plan_;
+  MitigationPlan mitigation_;
+  std::optional<RewardDropMonitor> monitor_;
+  CheckpointStore checkpoints_;
+  MitigationStats mit_stats_;
+  std::size_t episode_ = 0;
+  bool server_fault_pending_ = false;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,91 @@
+#include "frl/evaluation.hpp"
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
+                            std::size_t max_steps) {
+  FRLFI_CHECK(max_steps >= 1);
+  EpisodeStats stats;
+  Tensor obs = env.reset(rng);
+  for (std::size_t t = 0; t < max_steps; ++t) {
+    const std::size_t action = policy.forward(obs).argmax();
+    StepResult r = env.step(action, rng);
+    stats.total_reward += r.reward;
+    ++stats.steps;
+    if (r.done) {
+      stats.success = r.success;
+      return stats;
+    }
+    obs = std::move(r.observation);
+  }
+  stats.success = false;
+  return stats;
+}
+
+namespace {
+
+/// Corrupt a policy's weights per the scenario's deployment representation.
+InjectionReport corrupt_policy(Network& policy,
+                               const InferenceFaultScenario& scenario,
+                               Rng& rng) {
+  if (scenario.use_int8) {
+    std::vector<float> flat = policy.flat_parameters();
+    const InjectionReport report =
+        inject_int8(flat, scenario.spec, rng, scenario.int8_headroom);
+    policy.set_flat_parameters(flat);
+    return report;
+  }
+  std::vector<float> flat = policy.flat_parameters();
+  const InjectionReport report =
+      inject_fixed_point(flat, scenario.fixed_format, scenario.spec, rng);
+  policy.set_flat_parameters(flat);
+  return report;
+}
+
+}  // namespace
+
+EpisodeStats greedy_episode_trans1(Network& policy, Environment& env, Rng& rng,
+                                   std::size_t max_steps,
+                                   const InferenceFaultScenario& scenario) {
+  FRLFI_CHECK(max_steps >= 1);
+  // The faulty read strikes at one uniformly chosen step of the episode.
+  // Episodes that terminate before that step simply never experience it —
+  // matching a fault arriving at a random wall-clock time.
+  const std::size_t fault_step =
+      static_cast<std::size_t>(rng.uniform_index(max_steps));
+
+  EpisodeStats stats;
+  Tensor obs = env.reset(rng);
+  for (std::size_t t = 0; t < max_steps; ++t) {
+    std::size_t action;
+    if (t == fault_step) {
+      WeightRestoreGuard guard(policy);  // restores after the single read
+      corrupt_policy(policy, scenario, rng);
+      if (scenario.detector) scenario.detector->scan_and_suppress(policy);
+      action = policy.forward(obs).argmax();
+    } else {
+      action = policy.forward(obs).argmax();
+    }
+    StepResult r = env.step(action, rng);
+    stats.total_reward += r.reward;
+    ++stats.steps;
+    if (r.done) {
+      stats.success = r.success;
+      return stats;
+    }
+    obs = std::move(r.observation);
+  }
+  stats.success = false;
+  return stats;
+}
+
+InjectionReport apply_static_inference_fault(
+    Network& policy, const InferenceFaultScenario& scenario, Rng& rng) {
+  const InjectionReport report = corrupt_policy(policy, scenario, rng);
+  if (scenario.detector) scenario.detector->scan_and_suppress(policy);
+  return report;
+}
+
+}  // namespace frlfi

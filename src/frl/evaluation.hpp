@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file evaluation.hpp
+/// Greedy-exploitation evaluation (the paper's "inference" phase) with the
+/// inference-time fault modes of Fig. 4: clean, Trans-M/stuck-at (static
+/// weight corruption before the run), and Trans-1 (a read-register fault
+/// at one random action step).
+
+#include <optional>
+
+#include "fault/injector.hpp"
+#include "mitigation/range_detector.hpp"
+#include "nn/network.hpp"
+#include "numeric/fixed_point.hpp"
+#include "rl/env.hpp"
+#include "rl/qlearner.hpp"  // EpisodeStats
+
+namespace frlfi {
+
+/// Run one greedy episode (argmax of the network output at every step).
+EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
+                            std::size_t max_steps);
+
+/// Configuration for an inference fault campaign on a deployed policy.
+///
+/// Deployment representation: inference-time weights live in a fixed-point
+/// word (default Q(1,7,8), the middle format of the paper's §IV-B.3
+/// study). Bit flips in the integer/high bits of such words produce the
+/// large-magnitude outliers the paper describes ("0->1 flips can
+/// catastrophically destroy the NN policy") — and those outliers are
+/// exactly what the §V-B range detector catches. Set `use_int8` to
+/// corrupt through a saturating per-network int8 view instead (flips then
+/// stay within the calibrated weight range).
+struct InferenceFaultScenario {
+  /// Fault description (model + BER; site is implicit: deployed weights).
+  FaultSpec spec;
+  /// Deployed word format for injection.
+  FixedPointFormat fixed_format = FixedPointFormat::q1_7_8();
+  /// Inject through the int8-quantized view instead of fixed_format.
+  bool use_int8 = false;
+  /// Quantization-range headroom for the int8 view: online-fine-tuned
+  /// deployments keep a fixed scale with room for weight growth, so a
+  /// high-bit flip can reach headroom * max|w|. Headroom 2 reproduces the
+  /// paper's Fig. 4 degradation slope and Fig. 8a 3.3x mitigation factor.
+  float int8_headroom = 2.0f;
+  /// When set, run range-based anomaly detection + suppression after
+  /// injection (the §V-B mitigation).
+  const RangeAnomalyDetector* detector = nullptr;
+};
+
+/// Run one greedy episode with a Trans-1 fault: at one uniformly chosen
+/// step the weights are corrupted (per the scenario's representation and
+/// BER) for that single action read — with the range detector, when
+/// configured, screening that read — then restored.
+EpisodeStats greedy_episode_trans1(Network& policy, Environment& env, Rng& rng,
+                                   std::size_t max_steps,
+                                   const InferenceFaultScenario& scenario);
+
+/// Corrupt `policy` in place per the scenario (static injection, performed
+/// before inference execution begins) and, if configured, repair it with
+/// the range detector. Returns the injection report.
+InjectionReport apply_static_inference_fault(Network& policy,
+                                             const InferenceFaultScenario& scenario,
+                                             Rng& rng);
+
+}  // namespace frlfi

@@ -1,0 +1,334 @@
+#include "frl/gridworld_system.hpp"
+
+#include "frl/persist.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+#include "federated/aggregation.hpp"
+#include "frl/policies.hpp"
+
+namespace frlfi {
+
+GridWorldFrlSystem::GridWorldFrlSystem(Config cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      seed_(seed),
+      train_rng_(Rng(seed).split(0x7121A1)),
+      eps_(cfg.eps_start, cfg.eps_end, cfg.eps_span),
+      checkpoints_(5) {
+  FRLFI_CHECK_MSG(cfg_.n_agents >= 1, "need at least one agent");
+  FRLFI_CHECK(cfg_.comm_interval >= 1);
+
+  const std::vector<GridLayout> suite = GridLayout::paper_suite();
+  // All agents start from one shared initialization: parameter-space
+  // averaging across independently-initialized networks is destructive
+  // (weight-permutation symmetry), and federated training conventionally
+  // broadcasts a common initial model.
+  Rng init_rng = Rng(seed).split(0x1717);
+  const Network shared_init = make_gridworld_policy(init_rng);
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
+    envs_.push_back(std::make_unique<GridWorldEnv>(suite[i % suite.size()],
+                                                   cfg_.env));
+    nets_.push_back(std::make_unique<Network>(shared_init.clone()));
+    learners_.push_back(std::make_unique<QLearner>(*nets_.back(), cfg_.learner));
+  }
+
+  if (cfg_.n_agents >= 2) {
+    server_.emplace(cfg_.n_agents, nets_[0]->parameter_count(),
+                    AlphaSchedule(cfg_.n_agents, cfg_.alpha0, cfg_.alpha_tau));
+    server_->channel().set_bit_error_rate(cfg_.channel_ber);
+    server_->set_post_aggregate_hook(
+        [this](std::size_t /*round*/, std::vector<std::vector<float>>& agg) {
+          if (!server_fault_pending_) return;
+          server_fault_pending_ = false;
+          Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+          for (auto& params : agg)
+            inject_int8(params, fault_plan_.spec, fault_rng);
+        });
+  }
+}
+
+void GridWorldFrlSystem::set_fault_plan(const TrainingFaultPlan& plan) {
+  if (plan.active && plan.spec.site == FaultSite::AgentFault)
+    FRLFI_CHECK_MSG(plan.spec.agent_index < cfg_.n_agents,
+                    "agent_index " << plan.spec.agent_index);
+  fault_plan_ = plan;
+}
+
+void GridWorldFrlSystem::set_mitigation(const MitigationPlan& plan) {
+  mitigation_ = plan;
+  if (plan.enabled) {
+    monitor_.emplace(cfg_.n_agents, plan.detector);
+    checkpoints_ = CheckpointStore(plan.checkpoint_interval);
+    mit_stats_ = MitigationStats{};
+  } else {
+    monitor_.reset();
+  }
+}
+
+std::vector<float> GridWorldFrlSystem::consensus_params() const {
+  std::vector<std::vector<float>> all;
+  all.reserve(nets_.size());
+  for (const auto& n : nets_) all.push_back(n->flat_parameters());
+  return mean_parameters(all);
+}
+
+void GridWorldFrlSystem::inject_training_fault_if_due() {
+  if (!fault_plan_.active || episode_ != fault_plan_.spec.episode) return;
+  switch (fault_plan_.spec.site) {
+    case FaultSite::AgentFault: {
+      // In the single-agent system every fault hits the lone agent.
+      const std::size_t victim =
+          std::min(fault_plan_.spec.agent_index, cfg_.n_agents - 1);
+      Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+      inject_network_weights(*nets_[victim], fault_plan_.spec, fault_rng);
+      break;
+    }
+    case FaultSite::ServerFault: {
+      if (server_) {
+        // Corrupts the aggregated state at the next communication round.
+        server_fault_pending_ = true;
+      } else {
+        // No server in the single-agent system: the fault hits the agent.
+        Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+        inject_network_weights(*nets_[0], fault_plan_.spec, fault_rng);
+      }
+      break;
+    }
+    case FaultSite::Activations:
+      // Training-time activation faults are exercised through the
+      // Network activation hook by dedicated experiments; not part of the
+      // episode-indexed plan.
+      break;
+  }
+}
+
+void GridWorldFrlSystem::communicate_if_due() {
+  if (!server_) return;
+  if ((episode_ + 1) % cfg_.comm_interval != 0) return;
+
+  std::vector<std::vector<float>> uploads;
+  uploads.reserve(nets_.size());
+  for (const auto& n : nets_) uploads.push_back(n->flat_parameters());
+
+  Rng comm_rng = train_rng_.split(0xC0111 + episode_);
+  const std::vector<std::vector<float>> downlinks =
+      server_->communicate(uploads, comm_rng);
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    nets_[i]->set_flat_parameters(downlinks[i]);
+
+  // Checkpoint the (pre-fault) consensus, pausing while the detector is
+  // suspicious so recovery state stays clean.
+  if (mitigation_.enabled && !(monitor_ && monitor_->suspicious())) {
+    if (checkpoints_.offer(server_->round(), server_->consensus()))
+      ++mit_stats_.checkpoints_taken;
+  }
+}
+
+void GridWorldFrlSystem::apply_mitigation(const std::vector<double>& rewards) {
+  if (!mitigation_.enabled || !monitor_) return;
+  const DetectedFault verdict = monitor_->observe(rewards);
+  if (verdict == DetectedFault::None || !checkpoints_.has_checkpoint()) return;
+
+  if (verdict == DetectedFault::Agent) {
+    for (std::size_t agent : monitor_->flagged_agents())
+      nets_[agent]->set_flat_parameters(checkpoints_.restore());
+    ++mit_stats_.agent_recoveries;
+  } else {
+    // Server fault: revert every agent to the checkpointed consensus
+    // (equivalent to reverting the server and broadcasting).
+    for (auto& n : nets_) n->set_flat_parameters(checkpoints_.restore());
+    ++mit_stats_.server_recoveries;
+  }
+  monitor_->acknowledge();
+}
+
+void GridWorldFrlSystem::run_training_episode() {
+  const double epsilon = eps_.at(episode_);
+  std::vector<double> rewards(cfg_.n_agents, 0.0);
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
+    Rng ep_rng = train_rng_.split(episode_ * 1000003ULL + i);
+    const EpisodeStats stats =
+        learners_[i]->run_episode(*envs_[i], ep_rng, epsilon, /*learn=*/true);
+    rewards[i] = stats.total_reward;
+  }
+  inject_training_fault_if_due();
+  communicate_if_due();
+  apply_mitigation(rewards);
+  ++episode_;
+}
+
+void GridWorldFrlSystem::train(std::size_t episodes) {
+  for (std::size_t e = 0; e < episodes; ++e) run_training_episode();
+}
+
+double GridWorldFrlSystem::evaluate_agent(std::size_t agent,
+                                          std::size_t attempts,
+                                          std::uint64_t seed) {
+  FRLFI_CHECK(agent < cfg_.n_agents);
+  FRLFI_CHECK(attempts >= 1);
+  Rng eval_rng = Rng(seed).split(0xE7A1 + agent);
+  std::size_t successes = 0;
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const EpisodeStats stats = greedy_episode(*nets_[agent], *envs_[agent],
+                                              eval_rng, cfg_.learner.max_steps);
+    successes += stats.success ? 1 : 0;
+  }
+  return static_cast<double>(successes) / static_cast<double>(attempts);
+}
+
+double GridWorldFrlSystem::evaluate_success_rate(std::size_t attempts_per_agent,
+                                                 std::uint64_t seed) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+    total += evaluate_agent(i, attempts_per_agent, seed);
+  return total / static_cast<double>(cfg_.n_agents);
+}
+
+std::size_t GridWorldFrlSystem::episodes_to_recover(
+    double sr_threshold, std::size_t check_every,
+    std::size_t attempts_per_agent, std::size_t max_extra_episodes,
+    std::uint64_t eval_seed) {
+  FRLFI_CHECK(check_every >= 1);
+  std::size_t extra = 0;
+  while (extra < max_extra_episodes) {
+    const std::size_t chunk =
+        std::min(check_every, max_extra_episodes - extra);
+    train(chunk);
+    extra += chunk;
+    if (evaluate_success_rate(attempts_per_agent, eval_seed + extra) >=
+        sr_threshold)
+      return extra;
+  }
+  return max_extra_episodes;
+}
+
+Network GridWorldFrlSystem::consensus_network() const {
+  Network net = nets_[0]->clone();
+  net.set_flat_parameters(consensus_params());
+  return net;
+}
+
+double GridWorldFrlSystem::consensus_action_stddev() const {
+  Network net = consensus_network();
+  // Enumerate the full observation lattice (each of the 10 features takes
+  // one of 3 codes — the paper's |S| = 3^4 space extended by diagonals and
+  // goal-direction features) with a base-3 counter, and average the
+  // per-state spread of the 4 action values.
+  constexpr std::size_t kFeatures = GridWorldEnv::kObservationSize;
+  constexpr std::array<float, 3> kCodes{-1.0f, 0.0f, 1.0f};
+  RunningStats per_state_std;
+  std::array<std::size_t, kFeatures> digits{};
+  Tensor obs({kFeatures});
+  bool done = false;
+  while (!done) {
+    for (std::size_t f = 0; f < kFeatures; ++f) obs[f] = kCodes[digits[f]];
+    const Tensor q = net.forward(obs);
+    std::vector<double> vals(q.data().begin(), q.data().end());
+    per_state_std.add(population_stddev_of(vals));
+    // Increment the base-3 counter.
+    std::size_t f = 0;
+    while (true) {
+      if (f == kFeatures) {
+        done = true;
+        break;
+      }
+      if (++digits[f] < kCodes.size()) break;
+      digits[f] = 0;
+      ++f;
+    }
+  }
+  return per_state_std.mean();
+}
+
+double GridWorldFrlSystem::evaluate_inference_fault(
+    const InferenceFaultScenario& scenario, std::size_t attempts_per_agent,
+    std::uint64_t seed) {
+  Network policy = consensus_network();
+  Rng fault_rng = Rng(seed).split(0xFA52);
+
+  const bool trans1 =
+      scenario.spec.model == FaultModel::TransientSingleStep;
+  if (!trans1) apply_static_inference_fault(policy, scenario, fault_rng);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
+    Rng eval_rng = Rng(seed).split(0xE7A1 + i);
+    std::size_t successes = 0;
+    for (std::size_t a = 0; a < attempts_per_agent; ++a) {
+      EpisodeStats stats;
+      if (trans1) {
+        stats = greedy_episode_trans1(policy, *envs_[i], eval_rng,
+                                      cfg_.learner.max_steps, scenario);
+      } else {
+        stats = greedy_episode(policy, *envs_[i], eval_rng,
+                               cfg_.learner.max_steps);
+      }
+      successes += stats.success ? 1 : 0;
+    }
+    total += static_cast<double>(successes) /
+             static_cast<double>(attempts_per_agent);
+  }
+  return total / static_cast<double>(cfg_.n_agents);
+}
+
+GridWorldFrlSystem::Snapshot GridWorldFrlSystem::snapshot() const {
+  Snapshot snap;
+  snap.episode = episode_;
+  snap.round = server_ ? server_->round() : 0;
+  for (const auto& n : nets_) snap.agent_params.push_back(n->flat_parameters());
+  return snap;
+}
+
+void GridWorldFrlSystem::restore(const Snapshot& snap) {
+  FRLFI_CHECK_MSG(snap.agent_params.size() == nets_.size(),
+                  "snapshot agent count mismatch");
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    nets_[i]->set_flat_parameters(snap.agent_params[i]);
+  episode_ = snap.episode;
+  if (server_) server_->set_round(snap.round);
+  server_fault_pending_ = false;
+  // Detector baselines and checkpoints describe the pre-restore timeline;
+  // start the mitigation machinery afresh.
+  if (mitigation_.enabled) set_mitigation(mitigation_);
+}
+
+void GridWorldFrlSystem::save(std::ostream& os) const {
+  persist::write_header(os, 1);
+  const Snapshot snap = snapshot();
+  persist::write_u64(os, snap.episode);
+  persist::write_u64(os, snap.round);
+  persist::write_u64(os, snap.agent_params.size());
+  for (const auto& p : snap.agent_params) persist::write_floats(os, p);
+}
+
+void GridWorldFrlSystem::load(std::istream& is) {
+  const std::uint32_t version = persist::read_header(is);
+  FRLFI_CHECK_MSG(version == 1, "unsupported state version " << version);
+  Snapshot snap;
+  snap.episode = static_cast<std::size_t>(persist::read_u64(is));
+  snap.round = static_cast<std::size_t>(persist::read_u64(is));
+  const std::uint64_t n = persist::read_u64(is);
+  FRLFI_CHECK_MSG(n == nets_.size(), "state holds " << n << " agents, system has "
+                                                    << nets_.size());
+  for (std::uint64_t i = 0; i < n; ++i)
+    snap.agent_params.push_back(persist::read_floats(is));
+  restore(snap);
+}
+
+Network& GridWorldFrlSystem::agent_network(std::size_t agent) {
+  FRLFI_CHECK(agent < nets_.size());
+  return *nets_[agent];
+}
+
+GridWorldEnv& GridWorldFrlSystem::agent_env(std::size_t agent) {
+  FRLFI_CHECK(agent < envs_.size());
+  return *envs_[agent];
+}
+
+std::size_t GridWorldFrlSystem::communication_bytes() const {
+  return server_ ? server_->channel().bytes_sent() : 0;
+}
+
+}  // namespace frlfi

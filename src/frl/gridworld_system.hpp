@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file gridworld_system.hpp
+/// The paper's GridWorld FRL navigation system (§IV-A): n agents (paper:
+/// 12, over 4 mazes x 3 placements), each running online NN Q-learning in
+/// its own environment, periodically exchanging parameters through the
+/// smoothing-average server. Exposes the fault-injection and mitigation
+/// hooks every GridWorld experiment in the paper is built from.
+
+#include <memory>
+#include <optional>
+
+#include "envs/gridworld.hpp"
+#include "federated/server.hpp"
+#include "frl/evaluation.hpp"
+#include "frl/plans.hpp"
+#include "mitigation/checkpoint.hpp"
+#include "mitigation/reward_monitor.hpp"
+#include "rl/qlearner.hpp"
+#include "rl/schedule.hpp"
+
+namespace frlfi {
+
+/// End-to-end GridWorld FRL system.
+class GridWorldFrlSystem {
+ public:
+  /// System configuration. Defaults reproduce the paper's setup at the
+  /// library's nominal scale (12 agents, 1000 training episodes).
+  struct Config {
+    /// Number of agents; 1 selects the single-agent (no-server) system of
+    /// Fig. 3c.
+    std::size_t n_agents = 12;
+    /// Episodes between communication rounds.
+    std::size_t comm_interval = 1;
+    /// Initial smoothing self-weight and consensus time constant.
+    double alpha0 = 0.5;
+    double alpha_tau = 150.0;
+    /// Channel bit error rate (0 = clean links).
+    double channel_ber = 0.0;
+    /// Q-learning hyperparameters.
+    QLearner::Options learner;
+    /// Exploration schedule (training phase of §III-B).
+    double eps_start = 0.6;
+    double eps_end = 0.05;
+    std::size_t eps_span = 700;
+    /// Environment behaviour.
+    GridWorldEnv::Options env;
+  };
+
+  /// Opaque training-state snapshot (parameters + episode/round counters)
+  /// enabling the shared-prefix training used by the heatmap sweeps.
+  struct Snapshot {
+    std::vector<std::vector<float>> agent_params;
+    std::size_t episode = 0;
+    std::size_t round = 0;
+  };
+
+  /// Build the system; `seed` drives all training stochasticity.
+  GridWorldFrlSystem(Config cfg, std::uint64_t seed);
+
+  /// Arm (or disarm, with plan.active=false) a training-time fault.
+  void set_fault_plan(const TrainingFaultPlan& plan);
+
+  /// Enable/disable the §V-A mitigation scheme.
+  void set_mitigation(const MitigationPlan& plan);
+
+  /// Train for `episodes` more episodes (continues from the current
+  /// episode counter; faults whose episode falls inside the range fire).
+  void train(std::size_t episodes);
+
+  /// Episodes completed so far.
+  std::size_t episode() const { return episode_; }
+
+  /// Average greedy success rate over all agents (the paper's SR metric),
+  /// `attempts_per_agent` episodes each, deterministic in `seed`.
+  double evaluate_success_rate(std::size_t attempts_per_agent,
+                               std::uint64_t seed);
+
+  /// Greedy success rate of a single agent.
+  double evaluate_agent(std::size_t agent, std::size_t attempts,
+                        std::uint64_t seed);
+
+  /// Keep training until the unified policy recovers to `sr_threshold`
+  /// success rate (evaluated with `attempts_per_agent` every
+  /// `check_every` episodes); returns episodes needed, or
+  /// `max_extra_episodes` if it never recovers (Fig. 3e metric).
+  std::size_t episodes_to_recover(double sr_threshold, std::size_t check_every,
+                                  std::size_t attempts_per_agent,
+                                  std::size_t max_extra_episodes,
+                                  std::uint64_t eval_seed);
+
+  /// A fresh network holding the consensus (mean) policy parameters.
+  Network consensus_network() const;
+
+  /// Average per-state standard deviation of the consensus policy's action
+  /// values over the full observation lattice — Table I's statistic.
+  double consensus_action_stddev() const;
+
+  /// Evaluate inference under a fault scenario: corrupts a copy of the
+  /// consensus policy (static injection; Trans-1 handled per-episode) and
+  /// returns the average success rate over all agents' environments.
+  double evaluate_inference_fault(const InferenceFaultScenario& scenario,
+                                  std::size_t attempts_per_agent,
+                                  std::uint64_t seed);
+
+  /// Capture / restore training state (keeps config, RNG stream position
+  /// is re-derived from the episode counter).
+  Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
+  /// Persist / reload the training state (binary). The loading system
+  /// must have been constructed with the same configuration.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+  /// Mitigation counters (meaningful when mitigation is enabled).
+  const MitigationStats& mitigation_stats() const { return mit_stats_; }
+
+  /// Direct access to an agent's network (FI experiments and tests).
+  Network& agent_network(std::size_t agent);
+
+  /// Direct access to an agent's environment.
+  GridWorldEnv& agent_env(std::size_t agent);
+
+  /// The configuration in force.
+  const Config& config() const { return cfg_; }
+
+  /// Uplink+downlink communication bytes so far (0 for single-agent).
+  std::size_t communication_bytes() const;
+
+ private:
+  void run_training_episode();
+  void communicate_if_due();
+  void inject_training_fault_if_due();
+  void apply_mitigation(const std::vector<double>& rewards);
+  std::vector<float> consensus_params() const;
+
+  Config cfg_;
+  std::uint64_t seed_;
+  Rng train_rng_;
+  std::vector<std::unique_ptr<GridWorldEnv>> envs_;
+  std::vector<std::unique_ptr<Network>> nets_;
+  std::vector<std::unique_ptr<QLearner>> learners_;
+  std::optional<ParameterServer> server_;
+  EpsilonSchedule eps_;
+  TrainingFaultPlan fault_plan_;
+  MitigationPlan mitigation_;
+  std::optional<RewardDropMonitor> monitor_;
+  CheckpointStore checkpoints_;
+  MitigationStats mit_stats_;
+  std::size_t episode_ = 0;
+  bool server_fault_pending_ = false;
+};
+
+}  // namespace frlfi

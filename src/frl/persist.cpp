@@ -1,0 +1,55 @@
+#include "frl/persist.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace frlfi::persist {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x46524C53u;  // "FRLS"
+
+}  // namespace
+
+void write_header(std::ostream& os, std::uint32_t version) {
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+}
+
+std::uint32_t read_header(std::istream& is) {
+  std::uint32_t magic = 0, version = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  is.read(reinterpret_cast<char*>(&version), sizeof version);
+  FRLFI_CHECK_MSG(is.good() && magic == kMagic, "bad FRL-FI state header");
+  return version;
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  FRLFI_CHECK_MSG(is.good(), "truncated FRL-FI state stream");
+  return v;
+}
+
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  FRLFI_CHECK_MSG(n < (1ull << 32), "implausible vector length " << n);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  FRLFI_CHECK_MSG(is.good(), "truncated FRL-FI state stream");
+  return v;
+}
+
+}  // namespace frlfi::persist

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file persist.hpp
+/// Minimal binary persistence helpers shared by the FRL systems' save()
+/// and load() methods: length-prefixed float vectors plus scalar counters,
+/// with a magic/version header so stale files fail loudly.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace frlfi::persist {
+
+/// Write the "FRLS" header with a format version.
+void write_header(std::ostream& os, std::uint32_t version);
+
+/// Read and validate the header; returns the version. Throws Error on a
+/// bad magic or truncated stream.
+std::uint32_t read_header(std::istream& is);
+
+/// Write a u64 scalar.
+void write_u64(std::ostream& os, std::uint64_t v);
+
+/// Read a u64 scalar; throws Error on truncation.
+std::uint64_t read_u64(std::istream& is);
+
+/// Write a length-prefixed float vector.
+void write_floats(std::ostream& os, const std::vector<float>& v);
+
+/// Read a length-prefixed float vector; throws Error on truncation or an
+/// implausible length.
+std::vector<float> read_floats(std::istream& is);
+
+}  // namespace frlfi::persist

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file plans.hpp
+/// Declarative descriptions of what to break and what to protect in a
+/// training run — the nouns shared by the GridWorld and DroneNav systems.
+
+#include <cstddef>
+
+#include "fault/model.hpp"
+#include "mitigation/reward_monitor.hpp"
+
+namespace frlfi {
+
+/// A fault to inject during training (dynamic injection, §III-D).
+struct TrainingFaultPlan {
+  /// Inactive plans inject nothing.
+  bool active = false;
+  /// What/where/when to inject.
+  FaultSpec spec;
+};
+
+/// The §V-A mitigation configuration: reward-drop detection plus
+/// server-side checkpointing.
+struct MitigationPlan {
+  /// Disabled plans add no detection or recovery.
+  bool enabled = false;
+  /// Reward-drop detector parameters (p, k, baseline smoothing).
+  RewardDropMonitor::Options detector;
+  /// Communication rounds between server checkpoints (paper: 5).
+  std::size_t checkpoint_interval = 5;
+};
+
+/// Counters reported by a training run with mitigation enabled.
+struct MitigationStats {
+  std::size_t agent_recoveries = 0;
+  std::size_t server_recoveries = 0;
+  std::size_t checkpoints_taken = 0;
+};
+
+}  // namespace frlfi

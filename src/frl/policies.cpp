@@ -1,0 +1,35 @@
+#include "frl/policies.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+
+namespace frlfi {
+
+Network make_gridworld_policy(Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Dense>(10, 32, rng, "fc0"))
+      .add(std::make_unique<ReLU>("relu0"))
+      .add(std::make_unique<Dense>(32, 32, rng, "fc1"))
+      .add(std::make_unique<ReLU>("relu1"))
+      .add(std::make_unique<Dense>(32, 4, rng, "head"));
+  return net;
+}
+
+Network make_drone_policy(Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Conv2D>(3, 6, 4, 3, 0, rng, "conv0"))
+      .add(std::make_unique<ReLU>("relu0"))
+      .add(std::make_unique<Conv2D>(6, 12, 3, 2, 0, rng, "conv1"))
+      .add(std::make_unique<ReLU>("relu1"))
+      .add(std::make_unique<Conv2D>(12, 16, 2, 1, 0, rng, "conv2"))
+      .add(std::make_unique<ReLU>("relu2"))
+      .add(std::make_unique<Flatten>("flat"))
+      .add(std::make_unique<Dense>(48, 32, rng, "fc0"))
+      .add(std::make_unique<ReLU>("relu3"))
+      .add(std::make_unique<Dense>(32, 25, rng, "head"));
+  return net;
+}
+
+}  // namespace frlfi

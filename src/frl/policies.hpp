@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file policies.hpp
+/// The two policy-network topologies of the paper:
+///  * GridWorld: a small MLP Q-network over the 6-feature local
+///    observation, 4 action values (deployed 8-bit quantized).
+///  * DroneNav: 3 Conv + 2 FC layers mapping the (3,18,32) camera image to
+///    25 action logits (§IV-B.1).
+
+#include "core/rng.hpp"
+#include "nn/network.hpp"
+
+namespace frlfi {
+
+/// Build the GridWorld Q-network: 10 -> 32 -> 32 -> 4 MLP with ReLU over
+/// the local-neighbourhood observation (see GridWorldEnv::observe).
+Network make_gridworld_policy(Rng& rng);
+
+/// Build the DroneNav policy: Conv(3->6,k4,s3) / Conv(6->12,k3,s2) /
+/// Conv(12->16,k2,s1) / FC(48->32) / FC(32->25), ReLU between stages.
+Network make_drone_policy(Rng& rng);
+
+}  // namespace frlfi

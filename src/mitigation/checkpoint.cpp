@@ -1,0 +1,27 @@
+#include "mitigation/checkpoint.hpp"
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+CheckpointStore::CheckpointStore(std::size_t interval_rounds)
+    : interval_(interval_rounds) {
+  FRLFI_CHECK(interval_ >= 1);
+}
+
+bool CheckpointStore::offer(std::size_t round,
+                            const std::vector<float>& parameters) {
+  FRLFI_CHECK(!parameters.empty());
+  if (round % interval_ != 0) return false;
+  saved_ = parameters;
+  ++snapshots_;
+  return true;
+}
+
+const std::vector<float>& CheckpointStore::restore() {
+  FRLFI_CHECK_MSG(has_checkpoint(), "restore() before any snapshot");
+  ++restores_;
+  return saved_;
+}
+
+}  // namespace frlfi

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Server-side checkpointing (§V-A): the server snapshots the consensus
+/// policy every N communication rounds (the paper uses 5). On a detected
+/// agent fault the checkpoint is copied down to the faulty agent; on a
+/// detected server fault the server's own state reverts to the checkpoint.
+/// Checkpointing is asynchronous with aggregation in the paper (zero
+/// runtime overhead); here the store just tracks the memory cost.
+
+#include <cstddef>
+#include <vector>
+
+namespace frlfi {
+
+/// Periodic parameter checkpoint store.
+class CheckpointStore {
+ public:
+  /// \param interval_rounds  communication rounds between snapshots (>=1).
+  explicit CheckpointStore(std::size_t interval_rounds = 5);
+
+  /// Offer the current consensus parameters at communication round
+  /// `round`; the store keeps them when the interval has elapsed.
+  /// Returns true when a snapshot was taken.
+  bool offer(std::size_t round, const std::vector<float>& parameters);
+
+  /// True once at least one snapshot exists.
+  bool has_checkpoint() const { return !saved_.empty(); }
+
+  /// The most recent snapshot. Requires has_checkpoint().
+  const std::vector<float>& restore();
+
+  /// Snapshots taken so far.
+  std::size_t snapshots_taken() const { return snapshots_; }
+
+  /// Restores served so far.
+  std::size_t restores_served() const { return restores_; }
+
+  /// Checkpoint memory footprint in bytes (the scheme's storage overhead).
+  std::size_t memory_bytes() const { return saved_.size() * sizeof(float); }
+
+ private:
+  std::size_t interval_;
+  std::vector<float> saved_;
+  std::size_t snapshots_ = 0;
+  std::size_t restores_ = 0;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,66 @@
+#include "mitigation/range_detector.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+/// Widen a bound away from zero by `margin` (a 10% margin on a negative
+/// minimum must move it more negative).
+float widen(float bound, double margin, bool is_low) {
+  const auto m = static_cast<float>(margin);
+  if (is_low) return bound <= 0.0f ? bound * (1.0f + m) : bound * (1.0f - m);
+  return bound >= 0.0f ? bound * (1.0f + m) : bound * (1.0f - m);
+}
+
+}  // namespace
+
+RangeAnomalyDetector::RangeAnomalyDetector(Network& healthy_network,
+                                           Options opts) {
+  FRLFI_CHECK(opts.margin >= 0.0);
+  for (Parameter* p : healthy_network.parameters()) {
+    const auto& w = p->value.data();
+    FRLFI_CHECK(!w.empty());
+    const auto [mn, mx] = std::minmax_element(w.begin(), w.end());
+    ranges_.push_back({widen(*mn, opts.margin, true),
+                       widen(*mx, opts.margin, false)});
+  }
+  FRLFI_CHECK_MSG(!ranges_.empty(), "network has no parameters to calibrate");
+}
+
+template <typename Fn>
+std::size_t RangeAnomalyDetector::for_each_out_of_range(Network& net,
+                                                        Fn&& fn) const {
+  auto params = net.parameters();
+  FRLFI_CHECK_MSG(params.size() == ranges_.size(),
+                  "topology mismatch: " << params.size() << " tensors vs "
+                                        << ranges_.size() << " calibrated");
+  std::size_t hits = 0;
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    const Range r = ranges_[t];
+    for (float& w : params[t]->value.data()) {
+      if (w < r.lo || w > r.hi) {
+        ++hits;
+        fn(w);
+      }
+    }
+  }
+  return hits;
+}
+
+std::size_t RangeAnomalyDetector::scan_and_suppress(Network& net) const {
+  return for_each_out_of_range(net, [](float& w) { w = 0.0f; });
+}
+
+std::size_t RangeAnomalyDetector::scan(Network& net) const {
+  return for_each_out_of_range(net, [](float&) {});
+}
+
+std::pair<float, float> RangeAnomalyDetector::bounds(std::size_t t) const {
+  FRLFI_CHECK(t < ranges_.size());
+  return {ranges_[t].lo, ranges_[t].hi};
+}
+
+}  // namespace frlfi

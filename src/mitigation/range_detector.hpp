@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file range_detector.hpp
+/// Range-based anomaly detection for inference (§V-B): before steady
+/// exploitation begins, the per-layer weight ranges (w_min, w_max) are
+/// tallied and widened by a 10% margin; any weight later observed outside
+/// [1.1*w_min, 1.1*w_max] is flagged as a fault symptom and the operation
+/// around it is skipped — implemented, as in the paper's reference [24],
+/// by suppressing the anomalous value to zero (NNs are sparse and
+/// zero-centred, so zero is the maximum-likelihood repair).
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace frlfi {
+
+/// Per-layer calibrated weight-range detector.
+class RangeAnomalyDetector {
+ public:
+  /// Calibration options.
+  struct Options {
+    /// Range widening factor (the paper applies a 10% margin).
+    double margin = 0.10;
+  };
+
+  /// Calibrate from a healthy network's per-parameter-tensor ranges.
+  RangeAnomalyDetector(Network& healthy_network, Options opts);
+
+  /// Scan a (possibly corrupted) network with the calibrated ranges,
+  /// zeroing every out-of-range weight. Returns the number of suppressed
+  /// weights. The network must have the same topology as the calibration
+  /// network.
+  std::size_t scan_and_suppress(Network& net) const;
+
+  /// Scan without repairing; returns the number of out-of-range weights.
+  std::size_t scan(Network& net) const;
+
+  /// Number of calibrated parameter tensors.
+  std::size_t tensor_count() const { return ranges_.size(); }
+
+  /// Calibrated (low, high) bound for tensor t, margin included.
+  std::pair<float, float> bounds(std::size_t t) const;
+
+ private:
+  struct Range {
+    float lo;
+    float hi;
+  };
+  template <typename Fn>
+  std::size_t for_each_out_of_range(Network& net, Fn&& fn) const;
+
+  std::vector<Range> ranges_;
+};
+
+}  // namespace frlfi

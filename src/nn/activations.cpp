@@ -1,0 +1,83 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+ReLU::ReLU(std::string layer_name) : label_(std::move(layer_name)) {}
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out = input;
+  for (auto& v : out.data())
+    if (v < 0.0f) v = 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  FRLFI_CHECK_MSG(!cached_input_.empty(), label_ << ": backward before forward");
+  FRLFI_CHECK(grad_output.size() == cached_input_.size());
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.size(); ++i)
+    if (cached_input_[i] <= 0.0f) grad_input[i] = 0.0f;
+  return grad_input;
+}
+
+std::string ReLU::name() const { return label_ + "(ReLU)"; }
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  return std::make_unique<ReLU>(label_);
+}
+
+Tanh::Tanh(std::string layer_name) : label_(std::move(layer_name)) {}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out = input;
+  for (auto& v : out.data()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  FRLFI_CHECK_MSG(!cached_output_.empty(), label_ << ": backward before forward");
+  FRLFI_CHECK(grad_output.size() == cached_output_.size());
+  Tensor grad_input = grad_output;
+  for (std::size_t i = 0; i < grad_input.size(); ++i) {
+    const float y = cached_output_[i];
+    grad_input[i] *= (1.0f - y * y);
+  }
+  return grad_input;
+}
+
+std::string Tanh::name() const { return label_ + "(Tanh)"; }
+
+std::unique_ptr<Layer> Tanh::clone() const {
+  return std::make_unique<Tanh>(label_);
+}
+
+Tensor softmax(const Tensor& logits) {
+  FRLFI_CHECK(!logits.empty());
+  Tensor out = logits;
+  const float m = logits.max();
+  float total = 0.0f;
+  for (auto& v : out.data()) {
+    v = std::exp(v - m);
+    total += v;
+  }
+  // total >= 1 because the max element contributes exp(0) = 1.
+  for (auto& v : out.data()) v /= total;
+  return out;
+}
+
+float log_softmax_at(const Tensor& logits, std::size_t index) {
+  FRLFI_CHECK(index < logits.size());
+  const float m = logits.max();
+  float total = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    total += std::exp(logits[i] - m);
+  return (logits[index] - m) - std::log(total);
+}
+
+}  // namespace frlfi

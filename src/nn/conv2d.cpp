@@ -1,0 +1,129 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t padding,
+               Rng& rng, std::string layer_name)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      label_(std::move(layer_name)) {
+  FRLFI_CHECK(in_c_ > 0 && out_c_ > 0 && k_ > 0 && stride_ > 0);
+  const float fan_in = static_cast<float>(in_c_ * k_ * k_);
+  const float fan_out = static_cast<float>(out_c_ * k_ * k_);
+  const float bound = std::sqrt(6.0f / (fan_in + fan_out));
+  weight_ = Parameter(
+      label_ + ".weight",
+      Tensor::random_uniform({out_c_, in_c_, k_, k_}, rng, -bound, bound));
+  bias_ = Parameter(label_ + ".bias", Tensor({out_c_}));
+}
+
+std::size_t Conv2D::out_extent(std::size_t in_extent) const {
+  FRLFI_CHECK_MSG(in_extent + 2 * pad_ >= k_,
+                  label_ << ": input extent " << in_extent << " too small");
+  return (in_extent + 2 * pad_ - k_) / stride_ + 1;
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  FRLFI_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_c_,
+                  label_ << ": bad input shape " << input.shape_string());
+  cached_input_ = input;
+  const std::size_t h = input.dim(1), w = input.dim(2);
+  const std::size_t oh = out_extent(h), ow = out_extent(w);
+  Tensor out({out_c_, oh, ow});
+  const auto& x = input.data();
+  const auto& wt = weight_.value.data();
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = bias_.value[oc];
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += wt[((oc * in_c_ + ic) * k_ + ky) * k_ + kx] *
+                     x[(ic * h + static_cast<std::size_t>(iy)) * w +
+                       static_cast<std::size_t>(ix)];
+            }
+          }
+        }
+        out[(oc * oh + oy) * ow + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  FRLFI_CHECK_MSG(!cached_input_.empty(), label_ << ": backward before forward");
+  const std::size_t h = cached_input_.dim(1), w = cached_input_.dim(2);
+  const std::size_t oh = out_extent(h), ow = out_extent(w);
+  FRLFI_CHECK_MSG(grad_output.rank() == 3 && grad_output.dim(0) == out_c_ &&
+                      grad_output.dim(1) == oh && grad_output.dim(2) == ow,
+                  label_ << ": bad grad shape " << grad_output.shape_string());
+  Tensor grad_input(cached_input_.shape());
+  const auto& x = cached_input_.data();
+  const auto& wt = weight_.value.data();
+  auto& gw = weight_.grad.data();
+  auto& gx = grad_input.data();
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const float g = grad_output[(oc * oh + oy) * ow + ox];
+        if (g == 0.0f) continue;
+        bias_.grad[oc] += g;
+        for (std::size_t ic = 0; ic < in_c_; ++ic) {
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              const std::size_t xi =
+                  (ic * h + static_cast<std::size_t>(iy)) * w +
+                  static_cast<std::size_t>(ix);
+              const std::size_t wi = ((oc * in_c_ + ic) * k_ + ky) * k_ + kx;
+              gw[wi] += g * x[xi];
+              gx[xi] += g * wt[wi];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::string Conv2D::name() const {
+  std::ostringstream os;
+  os << label_ << "(Conv2D " << in_c_ << "->" << out_c_ << " k" << k_ << " s"
+     << stride_ << " p" << pad_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  auto copy = std::make_unique<Conv2D>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+}  // namespace frlfi

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file conv2d.hpp
+/// 2-D convolution over CHW single-sample tensors — the building block of
+/// the DroneNav perception policy (3 Conv layers in the paper).
+
+#include "nn/layer.hpp"
+
+namespace frlfi {
+
+/// 2-D convolution. Input: (in_channels, H, W); output:
+/// (out_channels, H', W') with H' = (H + 2*pad - k)/stride + 1.
+/// Weights Xavier-uniform, biases zero.
+class Conv2D final : public Layer {
+ public:
+  /// Construct with square kernels.
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t padding, Rng& rng,
+         std::string layer_name = "conv");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  /// Output spatial size for an input spatial size.
+  std::size_t out_extent(std::size_t in_extent) const;
+
+  /// Direct access to the weight parameter (FI and tests).
+  Parameter& weight() { return weight_; }
+
+  /// Direct access to the bias parameter.
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  Parameter weight_;  // (out_c, in_c, k, k)
+  Parameter bias_;    // (out_c)
+  Tensor cached_input_;
+  std::string label_;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,69 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng,
+             std::string layer_name)
+    : in_(in_features), out_(out_features), label_(std::move(layer_name)) {
+  FRLFI_CHECK(in_ > 0 && out_ > 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_ + out_));  // Xavier uniform
+  weight_ = Parameter(label_ + ".weight",
+                      Tensor::random_uniform({out_, in_}, rng, -bound, bound));
+  bias_ = Parameter(label_ + ".bias", Tensor({out_}));
+}
+
+Tensor Dense::forward(const Tensor& input) {
+  FRLFI_CHECK_MSG(input.size() == in_, label_ << ": input size " << input.size()
+                                              << " != " << in_);
+  cached_input_ = input.reshaped({in_});
+  Tensor out({out_});
+  const auto& w = weight_.value.data();
+  const auto& x = cached_input_.data();
+  for (std::size_t o = 0; o < out_; ++o) {
+    float acc = bias_.value[o];
+    const float* wrow = &w[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * x[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  FRLFI_CHECK_MSG(grad_output.size() == out_, label_ << ": grad size mismatch");
+  FRLFI_CHECK_MSG(!cached_input_.empty(), label_ << ": backward before forward");
+  Tensor grad_input({in_});
+  const auto& w = weight_.value.data();
+  const auto& x = cached_input_.data();
+  auto& gw = weight_.grad.data();
+  for (std::size_t o = 0; o < out_; ++o) {
+    const float g = grad_output[o];
+    bias_.grad[o] += g;
+    const float* wrow = &w[o * in_];
+    float* gwrow = &gw[o * in_];
+    for (std::size_t i = 0; i < in_; ++i) {
+      gwrow[i] += g * x[i];
+      grad_input[i] += g * wrow[i];
+    }
+  }
+  return grad_input;
+}
+
+std::string Dense::name() const {
+  std::ostringstream os;
+  os << label_ << "(Dense " << in_ << "->" << out_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::make_unique<Dense>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+}  // namespace frlfi

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file dense.hpp
+/// Fully-connected layer: y = W x + b over flat input vectors.
+
+#include "nn/layer.hpp"
+
+namespace frlfi {
+
+/// Fully-connected (affine) layer. Input: rank-1 tensor of `in_features`;
+/// output: rank-1 tensor of `out_features`. Weights are Xavier-uniform
+/// initialized; biases start at zero.
+class Dense final : public Layer {
+ public:
+  /// Construct with explicit dimensions and an RNG for initialization.
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng,
+        std::string layer_name = "dense");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+  /// Input feature count.
+  std::size_t in_features() const { return in_; }
+
+  /// Output feature count.
+  std::size_t out_features() const { return out_; }
+
+  /// Direct access to the weight parameter (FI and tests).
+  Parameter& weight() { return weight_; }
+
+  /// Direct access to the bias parameter.
+  Parameter& bias() { return bias_; }
+
+ private:
+  std::size_t in_, out_;
+  Parameter weight_;  // (out, in)
+  Parameter bias_;    // (out)
+  Tensor cached_input_;
+  std::string label_;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,26 @@
+#include "nn/flatten.hpp"
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+Flatten::Flatten(std::string layer_name) : label_(std::move(layer_name)) {}
+
+Tensor Flatten::forward(const Tensor& input) {
+  FRLFI_CHECK(!input.empty());
+  input_shape_ = input.shape();
+  return input.reshaped({input.size()});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  FRLFI_CHECK_MSG(!input_shape_.empty(), label_ << ": backward before forward");
+  return grad_output.reshaped(input_shape_);
+}
+
+std::string Flatten::name() const { return label_ + "(Flatten)"; }
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  return std::make_unique<Flatten>(label_);
+}
+
+}  // namespace frlfi

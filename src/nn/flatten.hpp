@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file flatten.hpp
+/// Shape adapter between convolutional and dense stages.
+
+#include "nn/layer.hpp"
+
+namespace frlfi {
+
+/// Flattens any input tensor to rank-1; backward restores the input shape.
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string layer_name = "flatten");
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::vector<std::size_t> input_shape_;
+  std::string label_;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file layer.hpp
+/// Layer abstraction for the policy networks.
+///
+/// The networks here are small (the paper's policies are a 2-layer MLP for
+/// GridWorld and a 3-Conv + 2-FC net for DroneNav) and trained online, one
+/// sample at a time, so layers process single CHW/flat samples. Each layer
+/// caches what it needs during forward() so a following backward() can
+/// produce input gradients and accumulate parameter gradients.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace frlfi {
+
+/// A trainable tensor with its gradient accumulator.
+struct Parameter {
+  /// Human-readable name, e.g. "dense0.weight".
+  std::string name;
+  /// Current value.
+  Tensor value;
+  /// Accumulated gradient (same shape as value).
+  Tensor grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  /// Reset the gradient accumulator to zero.
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class for all network layers.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Map an input sample to an output sample, caching intermediates for
+  /// backward(). Must be called before backward().
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulate parameter gradients and return
+  /// dLoss/dInput for the layer below.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (possibly empty). Pointers remain valid for the
+  /// lifetime of the layer.
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Layer type + configuration string for diagnostics.
+  virtual std::string name() const = 0;
+
+  /// Deep copy (parameters included, caches excluded).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,125 @@
+#include "nn/network.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+Network& Network::add(std::unique_ptr<Layer> layer) {
+  FRLFI_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  param_cache_valid_ = false;
+  return *this;
+}
+
+Layer& Network::layer(std::size_t i) {
+  FRLFI_CHECK_MSG(i < layers_.size(), "layer index " << i);
+  return *layers_[i];
+}
+
+const Layer& Network::layer(std::size_t i) const {
+  FRLFI_CHECK_MSG(i < layers_.size(), "layer index " << i);
+  return *layers_[i];
+}
+
+void Network::set_activation_hook(
+    std::function<void(std::size_t, Tensor&)> hook) {
+  activation_hook_ = std::move(hook);
+}
+
+Tensor Network::forward(const Tensor& input) {
+  FRLFI_CHECK_MSG(!layers_.empty(), "forward on empty network");
+  Tensor x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward(x);
+    if (activation_hook_) activation_hook_(i, x);
+  }
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_output) {
+  FRLFI_CHECK_MSG(!layers_.empty(), "backward on empty network");
+  Tensor g = grad_output;
+  for (std::size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Network::parameters() {
+  if (!param_cache_valid_) {
+    param_cache_.clear();
+    for (auto& l : layers_)
+      for (Parameter* p : l->parameters()) param_cache_.push_back(p);
+    param_cache_valid_ = true;
+  }
+  return param_cache_;
+}
+
+void Network::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+std::size_t Network::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_)
+    for (Parameter* p : const_cast<Layer&>(*l).parameters()) n += p->value.size();
+  return n;
+}
+
+std::vector<float> Network::flat_parameters() const {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (const auto& l : layers_)
+    for (Parameter* p : const_cast<Layer&>(*l).parameters())
+      flat.insert(flat.end(), p->value.data().begin(), p->value.data().end());
+  return flat;
+}
+
+void Network::set_flat_parameters(const std::vector<float>& flat) {
+  FRLFI_CHECK_MSG(flat.size() == parameter_count(),
+                  "flat size " << flat.size() << " != " << parameter_count());
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (Parameter* p : l->parameters()) {
+      auto& dst = p->value.data();
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                flat.begin() + static_cast<std::ptrdiff_t>(off + dst.size()),
+                dst.begin());
+      off += dst.size();
+    }
+  }
+}
+
+Network Network::clone() const {
+  Network copy;
+  for (const auto& l : layers_) copy.add(l->clone());
+  return copy;
+}
+
+void Network::save_parameters(std::ostream& os) const {
+  const std::uint32_t magic = 0x464E4554u;  // "FNET"
+  const std::uint64_t n = parameter_count();
+  os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  os.write(reinterpret_cast<const char*>(&n), sizeof n);
+  const std::vector<float> flat = flat_parameters();
+  os.write(reinterpret_cast<const char*>(flat.data()),
+           static_cast<std::streamsize>(flat.size() * sizeof(float)));
+}
+
+void Network::load_parameters(std::istream& is) {
+  std::uint32_t magic = 0;
+  std::uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  is.read(reinterpret_cast<char*>(&n), sizeof n);
+  FRLFI_CHECK_MSG(is.good() && magic == 0x464E4554u, "bad network header");
+  FRLFI_CHECK_MSG(n == parameter_count(),
+                  "saved parameter count " << n << " != " << parameter_count());
+  std::vector<float> flat(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  FRLFI_CHECK_MSG(is.good(), "truncated network payload");
+  set_flat_parameters(flat);
+}
+
+}  // namespace frlfi

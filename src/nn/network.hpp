@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file network.hpp
+/// Sequential network container with the two facilities the FI framework
+/// needs beyond plain forward/backward:
+///  * flat parameter import/export (what the federated server aggregates
+///    and the communication channel transports), and
+///  * per-layer activation hooks (where dynamic activation faults and the
+///    range-based anomaly detector attach).
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace frlfi {
+
+/// A stack of layers executed in order. Movable, deep-clonable.
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Append a layer; returns *this for chaining.
+  Network& add(std::unique_ptr<Layer> layer);
+
+  /// Number of layers.
+  std::size_t layer_count() const { return layers_.size(); }
+
+  /// Access layer i.
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
+
+  /// Hook invoked after each layer's forward pass as
+  /// hook(layer_index, activation_tensor); the hook may mutate the
+  /// activation (fault injection, anomaly suppression). An empty function
+  /// clears the hook.
+  void set_activation_hook(
+      std::function<void(std::size_t, Tensor&)> hook);
+
+  /// Run the full forward pass.
+  Tensor forward(const Tensor& input);
+
+  /// Run backward from dLoss/dOutput; accumulates parameter gradients and
+  /// returns dLoss/dInput.
+  Tensor backward(const Tensor& grad_output);
+
+  /// All trainable parameters, in layer order.
+  std::vector<Parameter*> parameters();
+
+  /// Zero all parameter gradients.
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  std::size_t parameter_count() const;
+
+  /// Copy all parameter values into one flat vector (layer order).
+  std::vector<float> flat_parameters() const;
+
+  /// Load parameter values from a flat vector; size must match exactly.
+  void set_flat_parameters(const std::vector<float>& flat);
+
+  /// Deep copy (parameters copied, caches and hooks dropped).
+  Network clone() const;
+
+  /// Serialize parameter values (architecture is not serialized; the
+  /// loader must have built an identical topology).
+  void save_parameters(std::ostream& os) const;
+
+  /// Load parameter values saved by save_parameters into this topology.
+  void load_parameters(std::istream& is);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::function<void(std::size_t, Tensor&)> activation_hook_;
+  // parameters() result cached per topology; invalidated by add().
+  mutable std::vector<Parameter*> param_cache_;
+  mutable bool param_cache_valid_ = false;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,48 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+SgdOptimizer::SgdOptimizer(Network& net, Options opts)
+    : net_(&net), opts_(opts) {
+  FRLFI_CHECK(opts_.learning_rate > 0.0f);
+  FRLFI_CHECK(opts_.momentum >= 0.0f && opts_.momentum < 1.0f);
+  if (opts_.momentum > 0.0f)
+    for (Parameter* p : net_->parameters()) velocity_.emplace_back(p->value.shape());
+}
+
+void SgdOptimizer::step() {
+  auto params = net_->parameters();
+
+  float scale = 1.0f;
+  if (opts_.clip_norm > 0.0f) {
+    double sq = 0.0;
+    for (Parameter* p : params)
+      for (float g : p->grad.data()) sq += static_cast<double>(g) * g;
+    const double norm = std::sqrt(sq);
+    if (norm > opts_.clip_norm)
+      scale = static_cast<float>(opts_.clip_norm / norm);
+  }
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    auto& w = p->value.data();
+    auto& g = p->grad.data();
+    if (opts_.momentum > 0.0f) {
+      auto& v = velocity_[pi].data();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        v[i] = opts_.momentum * v[i] - opts_.learning_rate * scale * g[i];
+        w[i] += v[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] -= opts_.learning_rate * scale * g[i];
+    }
+    p->zero_grad();
+  }
+}
+
+}  // namespace frlfi

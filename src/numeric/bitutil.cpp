@@ -1,0 +1,41 @@
+#include "numeric/bitutil.hpp"
+
+#include <bit>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+bool get_bit(std::span<const std::uint8_t> bytes, std::size_t i) {
+  FRLFI_CHECK_MSG(i < bit_count(bytes), "bit index " << i << " out of range");
+  return (bytes[i / 8] >> (i % 8)) & 1u;
+}
+
+void set_bit(std::span<std::uint8_t> bytes, std::size_t i, bool value) {
+  FRLFI_CHECK_MSG(i < bit_count(bytes), "bit index " << i << " out of range");
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (i % 8));
+  if (value)
+    bytes[i / 8] |= mask;
+  else
+    bytes[i / 8] &= static_cast<std::uint8_t>(~mask);
+}
+
+bool flip_bit(std::span<std::uint8_t> bytes, std::size_t i) {
+  FRLFI_CHECK_MSG(i < bit_count(bytes), "bit index " << i << " out of range");
+  bytes[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+  return get_bit(bytes, i);
+}
+
+std::size_t popcount(std::span<const std::uint8_t> bytes) {
+  std::size_t n = 0;
+  for (std::uint8_t b : bytes) n += static_cast<std::size_t>(std::popcount(b));
+  return n;
+}
+
+double ones_fraction(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return 0.0;
+  return static_cast<double>(popcount(bytes)) /
+         static_cast<double>(bit_count(bytes));
+}
+
+}  // namespace frlfi

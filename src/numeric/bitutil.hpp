@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file bitutil.hpp
+/// Bit-level utilities over byte buffers: the primitive operations the
+/// fault injector and the Fig. 3d bit-census are built on.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace frlfi {
+
+/// Total number of bits in the buffer.
+inline std::size_t bit_count(std::span<const std::uint8_t> bytes) {
+  return bytes.size() * 8;
+}
+
+/// Read bit `i` (0 = LSB of byte 0).
+bool get_bit(std::span<const std::uint8_t> bytes, std::size_t i);
+
+/// Set bit `i` to `value`.
+void set_bit(std::span<std::uint8_t> bytes, std::size_t i, bool value);
+
+/// Flip bit `i`; returns the new value of the bit.
+bool flip_bit(std::span<std::uint8_t> bytes, std::size_t i);
+
+/// Number of 1-bits in the buffer (the Fig. 3d "bits breakdown").
+std::size_t popcount(std::span<const std::uint8_t> bytes);
+
+/// Fraction of 1-bits in the buffer; 0 for an empty buffer.
+double ones_fraction(std::span<const std::uint8_t> bytes);
+
+}  // namespace frlfi

@@ -1,0 +1,44 @@
+#include "numeric/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+Int8Quantizer Int8Quantizer::calibrate(const std::vector<float>& data) {
+  float max_abs = 0.0f;
+  for (float x : data) max_abs = std::max(max_abs, std::abs(x));
+  constexpr float kMinScaleNumerator = 1e-8f;
+  return Int8Quantizer(std::max(max_abs, kMinScaleNumerator) / 127.0f);
+}
+
+Int8Quantizer::Int8Quantizer(float scale) : scale_(scale) {
+  FRLFI_CHECK_MSG(scale > 0.0f && std::isfinite(scale), "invalid scale " << scale);
+}
+
+std::int8_t Int8Quantizer::quantize(float x) const {
+  const float q = std::round(x / scale_);
+  const float clamped = std::clamp(q, -127.0f, 127.0f);
+  return static_cast<std::int8_t>(clamped);
+}
+
+std::vector<std::int8_t> Int8Quantizer::quantize(const std::vector<float>& xs) const {
+  std::vector<std::int8_t> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = quantize(xs[i]);
+  return out;
+}
+
+std::vector<float> Int8Quantizer::dequantize(const std::vector<std::int8_t>& qs) const {
+  std::vector<float> out(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) out[i] = dequantize(qs[i]);
+  return out;
+}
+
+std::vector<float> int8_roundtrip(const std::vector<float>& xs) {
+  const Int8Quantizer q = Int8Quantizer::calibrate(xs);
+  return q.dequantize(q.quantize(xs));
+}
+
+}  // namespace frlfi

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file quantize.hpp
+/// Symmetric per-tensor int8 quantization.
+///
+/// The paper quantizes policies to 8 bits for edge deployment and injects
+/// bit flips into the quantized representation. Training math stays in
+/// float; the quantizer provides the int8 view that faults act on, plus the
+/// dequantization back into the float weights the network executes with.
+
+#include <cstdint>
+#include <vector>
+
+namespace frlfi {
+
+/// Symmetric linear quantizer: q = clamp(round(x / scale), -127, 127).
+/// scale is chosen so that max|x| maps to 127 (with a tiny epsilon floor so
+/// an all-zero tensor still has a valid scale).
+class Int8Quantizer {
+ public:
+  /// Calibrate the scale from the data's maximum magnitude.
+  static Int8Quantizer calibrate(const std::vector<float>& data);
+
+  /// Construct with an explicit scale (> 0).
+  explicit Int8Quantizer(float scale);
+
+  /// The dequantization step size.
+  float scale() const { return scale_; }
+
+  /// Quantize one value.
+  std::int8_t quantize(float x) const;
+
+  /// Dequantize one value.
+  float dequantize(std::int8_t q) const { return static_cast<float>(q) * scale_; }
+
+  /// Quantize a buffer.
+  std::vector<std::int8_t> quantize(const std::vector<float>& xs) const;
+
+  /// Dequantize a buffer.
+  std::vector<float> dequantize(const std::vector<std::int8_t>& qs) const;
+
+ private:
+  float scale_;
+};
+
+/// Round-trip a float buffer through int8 (quantize-dequantize), emulating
+/// an 8-bit deployment of the tensor. Returns the quantization-noise-bearing
+/// reconstruction.
+std::vector<float> int8_roundtrip(const std::vector<float>& xs);
+
+}  // namespace frlfi

@@ -1,0 +1,114 @@
+#include "perfmodel/uav.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+constexpr double kGravity = 9.81;
+
+}  // namespace
+
+UavSpec UavSpec::airsim_drone() {
+  UavSpec s;
+  s.name = "AirSim drone (mini-UAV)";
+  s.mass_kg = 1.652;
+  s.thrust_to_weight = 2.0;
+  s.battery_wh = 6.250 * 11.1;  // 6250 mAh @ 11.1 V
+  s.hover_power_w = 180.0;
+  s.sense_range_m = 12.0;
+  s.sensor_latency_s = 0.05;
+  s.compute_latency_s = 0.05;
+  s.board_mass_kg = 0.10;
+  s.board_power_w = 10.0;
+  return s;
+}
+
+UavSpec UavSpec::dji_spark() {
+  UavSpec s;
+  s.name = "DJI Spark (micro-UAV)";
+  s.mass_kg = 0.300;
+  s.thrust_to_weight = 1.7;
+  s.battery_wh = 1.480 * 11.4;  // 1480 mAh @ 11.4 V
+  s.hover_power_w = 45.0;
+  s.sense_range_m = 8.0;
+  s.sensor_latency_s = 0.05;
+  s.compute_latency_s = 0.05;
+  s.board_mass_kg = 0.10;
+  s.board_power_w = 10.0;
+  return s;
+}
+
+ProtectionScheme ProtectionScheme::baseline() {
+  return {"Baseline (no protection)", 1, 0.0};
+}
+
+ProtectionScheme ProtectionScheme::detection() {
+  return {"Detection (ours)", 1, 0.027};
+}
+
+ProtectionScheme ProtectionScheme::dmr() { return {"DMR", 2, 0.05}; }
+
+ProtectionScheme ProtectionScheme::tmr() { return {"TMR", 3, 0.08}; }
+
+FlightPerformance evaluate_flight(const UavSpec& uav,
+                                  const ProtectionScheme& scheme,
+                                  double mission_window_s) {
+  FRLFI_CHECK(scheme.compute_replicas >= 1);
+  FRLFI_CHECK(scheme.runtime_overhead >= 0.0);
+  FRLFI_CHECK(mission_window_s > 0.0);
+
+  FlightPerformance perf;
+
+  // Mass grows by the extra compute boards.
+  const double extra_mass =
+      static_cast<double>(scheme.compute_replicas - 1) * uav.board_mass_kg;
+  const double mass = uav.mass_kg + extra_mass;
+
+  // Thrust is fixed hardware; acceleration margin shrinks with mass.
+  const double accel =
+      kGravity * (uav.thrust_to_weight * uav.mass_kg / mass - 1.0);
+  perf.max_accel = std::max(accel, 0.0);
+
+  // Reaction latency: sensing plus (replicated, overhead-bearing) compute.
+  perf.compute_latency_s =
+      uav.compute_latency_s * (1.0 + scheme.runtime_overhead);
+  const double t_c = uav.sensor_latency_s + perf.compute_latency_s;
+
+  // CAL'20 safe-velocity closed form; a drone with no thrust margin can
+  // only hover (v = 0).
+  if (perf.max_accel > 1e-9) {
+    const double a = perf.max_accel;
+    perf.safe_velocity =
+        a * (std::sqrt(t_c * t_c + 2.0 * uav.sense_range_m / a) - t_c);
+  }
+
+  // Power: propulsion scales ~ m^1.5 (actuator-disk), plus the boards.
+  const double propulsion =
+      uav.hover_power_w * std::pow(mass / uav.mass_kg, 1.5);
+  perf.total_power_w =
+      propulsion +
+      uav.board_power_w * static_cast<double>(scheme.compute_replicas);
+
+  perf.endurance_s = uav.battery_wh * 3600.0 / perf.total_power_w;
+  perf.safe_flight_distance_m =
+      perf.safe_velocity * std::min(mission_window_s, perf.endurance_s);
+  return perf;
+}
+
+double distance_degradation_pct(const UavSpec& uav,
+                                const ProtectionScheme& scheme,
+                                const ProtectionScheme& reference,
+                                double mission_window_s) {
+  const double d_scheme =
+      evaluate_flight(uav, scheme, mission_window_s).safe_flight_distance_m;
+  const double d_ref =
+      evaluate_flight(uav, reference, mission_window_s).safe_flight_distance_m;
+  FRLFI_CHECK_MSG(d_ref > 0.0, "reference scheme cannot fly at all");
+  return (1.0 - d_scheme / d_ref) * 100.0;
+}
+
+}  // namespace frlfi

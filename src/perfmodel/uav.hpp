@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file uav.hpp
+/// Cyber-physical UAV performance model (the paper's refs [32], [33]:
+/// Krishnan et al., "The Sky Is Not the Limit", CAL'20) used by Fig. 9 to
+/// compare protection schemes from the *end-to-end system* perspective:
+/// redundant compute hardware adds mass and power, which lowers the
+/// acceleration margin, the safe velocity, and ultimately the safe flight
+/// distance — the reason DMR/TMR are poor fits for micro-UAVs.
+///
+/// Safe velocity follows the CAL'20 closed form
+///     v_safe = a_max * (sqrt(t_c^2 + 2 d_sense / a_max) - t_c)
+/// where t_c is the end-to-end sense+compute reaction latency and d_sense
+/// the obstacle-sensing range; a_max = g * (TWR * m0 / m - 1) shrinks as
+/// protection hardware increases total mass m.
+
+#include <string>
+#include <vector>
+
+namespace frlfi {
+
+/// Physical and compute parameters of a drone platform.
+struct UavSpec {
+  std::string name;
+  /// Take-off mass including the baseline compute board [kg].
+  double mass_kg = 1.0;
+  /// Thrust-to-weight ratio at the baseline mass.
+  double thrust_to_weight = 2.0;
+  /// Battery energy [Wh].
+  double battery_wh = 50.0;
+  /// Hover/propulsion power at baseline mass [W].
+  double hover_power_w = 100.0;
+  /// Obstacle sensing range [m].
+  double sense_range_m = 12.0;
+  /// Sensor pipeline latency [s].
+  double sensor_latency_s = 0.05;
+  /// Policy compute latency on one board [s].
+  double compute_latency_s = 0.05;
+  /// Compute board mass [kg] (already counted once in mass_kg).
+  double board_mass_kg = 0.10;
+  /// Compute board power [W].
+  double board_power_w = 10.0;
+
+  /// The paper's mini-UAV platform (650 mm, 1652 g, 6250 mAh — Fig. 9).
+  static UavSpec airsim_drone();
+
+  /// The paper's micro-UAV platform (DJI Spark: 170 mm, 300 g, 1480 mAh).
+  static UavSpec dji_spark();
+};
+
+/// A fault-protection scheme's cost model.
+struct ProtectionScheme {
+  std::string name;
+  /// Number of compute board instances (1 = unprotected/our detection).
+  int compute_replicas = 1;
+  /// Fractional slowdown of the policy compute (checkpoint/compare/vote).
+  double runtime_overhead = 0.0;
+
+  /// No protection at all.
+  static ProtectionScheme baseline();
+
+  /// The paper's scheme: range detection + server checkpointing,
+  /// <2.7% runtime overhead, no extra hardware.
+  static ProtectionScheme detection();
+
+  /// Dual modular redundancy: duplicate compute + comparison.
+  static ProtectionScheme dmr();
+
+  /// Triple modular redundancy: triplicate compute + majority voter.
+  static ProtectionScheme tmr();
+};
+
+/// Evaluated end-to-end flight performance.
+struct FlightPerformance {
+  /// Available longitudinal acceleration [m/s^2].
+  double max_accel = 0.0;
+  /// Velocity at which the drone can still brake within sensing range [m/s].
+  double safe_velocity = 0.0;
+  /// Total electrical power draw [W].
+  double total_power_w = 0.0;
+  /// Endurance at that power [s].
+  double endurance_s = 0.0;
+  /// Safe flight distance over the mission window [m] — Fig. 9's metric.
+  double safe_flight_distance_m = 0.0;
+  /// Policy compute latency including protection overhead [s].
+  double compute_latency_s = 0.0;
+};
+
+/// Evaluate a platform under a protection scheme.
+/// \param mission_window_s evaluation window over which distance is
+///        accumulated (paper plots one navigation segment).
+FlightPerformance evaluate_flight(const UavSpec& uav,
+                                  const ProtectionScheme& scheme,
+                                  double mission_window_s = 10.0);
+
+/// Distance degradation of `scheme` relative to `reference`, in percent
+/// (positive = scheme flies less far).
+double distance_degradation_pct(const UavSpec& uav,
+                                const ProtectionScheme& scheme,
+                                const ProtectionScheme& reference,
+                                double mission_window_s = 10.0);
+
+}  // namespace frlfi

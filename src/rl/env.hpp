@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file env.hpp
+/// The MDP/environment interface shared by GridWorld and the drone
+/// simulator. Environments are episodic and terminate themselves (goal,
+/// collision, or step cap); observations are tensors consumed directly by
+/// the policy networks.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace frlfi {
+
+/// Result of one environment step.
+struct StepResult {
+  /// Observation after the transition.
+  Tensor observation;
+  /// Immediate reward R(s, a).
+  float reward = 0.0f;
+  /// True when the episode ended with this transition.
+  bool done = false;
+  /// Valid only when done: true for a successful termination (goal
+  /// reached); false for failure (crash / step cap exceeded).
+  bool success = false;
+};
+
+/// An episodic MDP with a discrete action space.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Start a new episode; returns the initial observation.
+  virtual Tensor reset(Rng& rng) = 0;
+
+  /// Apply the action; must not be called after done until reset.
+  virtual StepResult step(std::size_t action, Rng& rng) = 0;
+
+  /// Size of the discrete action space.
+  virtual std::size_t action_count() const = 0;
+
+  /// Shape of observation tensors.
+  virtual std::vector<std::size_t> observation_shape() const = 0;
+};
+
+}  // namespace frlfi

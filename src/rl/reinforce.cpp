@@ -1,0 +1,92 @@
+#include "rl/reinforce.hpp"
+
+#include "core/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/loss.hpp"
+
+namespace frlfi {
+
+ReinforceTrainer::ReinforceTrainer(Network& net, Options opts)
+    : net_(&net),
+      opts_(opts),
+      optimizer_(net, {.learning_rate = opts.learning_rate,
+                       .momentum = 0.0f,
+                       .clip_norm = 10.0f}) {
+  FRLFI_CHECK(opts_.gamma > 0.0f && opts_.gamma < 1.0f);
+  FRLFI_CHECK(opts_.max_steps >= 1);
+  FRLFI_CHECK(opts_.baseline_beta >= 0.0f && opts_.baseline_beta < 1.0f);
+}
+
+std::size_t ReinforceTrainer::greedy_action(const Tensor& observation) {
+  return net_->forward(observation).argmax();
+}
+
+EpisodeStats ReinforceTrainer::run_episode(Environment& env, Rng& rng,
+                                           bool learn) {
+  EpisodeStats stats;
+  std::vector<Tensor> observations;
+  std::vector<std::size_t> actions;
+  std::vector<float> rewards;
+
+  Tensor obs = env.reset(rng);
+  for (std::size_t t = 0; t < opts_.max_steps; ++t) {
+    const Tensor logits = net_->forward(obs);
+    std::size_t action;
+    if (learn) {
+      const Tensor probs = softmax(logits);
+      std::vector<double> w(probs.data().begin(), probs.data().end());
+      action = rng.categorical(w);
+    } else {
+      action = logits.argmax();
+    }
+
+    StepResult result = env.step(action, rng);
+    stats.total_reward += result.reward;
+    ++stats.steps;
+
+    if (learn) {
+      observations.push_back(obs);
+      actions.push_back(action);
+      rewards.push_back(result.reward);
+    }
+
+    if (result.done) {
+      stats.success = result.success;
+      break;
+    }
+    obs = std::move(result.observation);
+  }
+
+  if (learn && !rewards.empty()) {
+    // Discounted returns-to-go.
+    std::vector<float> returns(rewards.size());
+    float g = 0.0f;
+    for (std::size_t t = rewards.size(); t-- > 0;) {
+      g = rewards[t] + opts_.gamma * g;
+      returns[t] = g;
+    }
+    // Running baseline on the episode's mean return for variance reduction.
+    float mean_return = 0.0f;
+    for (float r : returns) mean_return += r;
+    mean_return /= static_cast<float>(returns.size());
+    if (!baseline_init_) {
+      reward_baseline_ = mean_return;
+      baseline_init_ = true;
+    } else {
+      reward_baseline_ = opts_.baseline_beta * reward_baseline_ +
+                         (1.0f - opts_.baseline_beta) * mean_return;
+    }
+
+    net_->zero_grad();
+    const float inv_t = 1.0f / static_cast<float>(returns.size());
+    for (std::size_t t = 0; t < returns.size(); ++t) {
+      const Tensor logits = net_->forward(observations[t]);
+      const float advantage = (returns[t] - reward_baseline_) * inv_t;
+      net_->backward(policy_gradient_grad(logits, actions[t], advantage));
+    }
+    optimizer_.step();
+  }
+  return stats;
+}
+
+}  // namespace frlfi

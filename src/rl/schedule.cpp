@@ -1,0 +1,20 @@
+#include "rl/schedule.hpp"
+
+#include "core/error.hpp"
+
+namespace frlfi {
+
+EpsilonSchedule::EpsilonSchedule(double start, double end, std::size_t span)
+    : start_(start), end_(end), span_(span) {
+  FRLFI_CHECK_MSG(start >= 0.0 && start <= 1.0, "epsilon start " << start);
+  FRLFI_CHECK_MSG(end >= 0.0 && end <= start, "epsilon end " << end);
+  FRLFI_CHECK(span >= 1);
+}
+
+double EpsilonSchedule::at(std::size_t episode) const {
+  if (episode >= span_) return end_;
+  const double frac = static_cast<double>(episode) / static_cast<double>(span_);
+  return start_ - frac * (start_ - end_);
+}
+
+}  // namespace frlfi

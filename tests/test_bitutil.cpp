@@ -1,0 +1,61 @@
+#include "numeric/bitutil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+TEST(BitUtil, GetSetRoundTrip) {
+  std::vector<std::uint8_t> buf(4, 0);
+  set_bit(buf, 0, true);
+  set_bit(buf, 9, true);
+  set_bit(buf, 31, true);
+  EXPECT_TRUE(get_bit(buf, 0));
+  EXPECT_TRUE(get_bit(buf, 9));
+  EXPECT_TRUE(get_bit(buf, 31));
+  EXPECT_FALSE(get_bit(buf, 1));
+  set_bit(buf, 9, false);
+  EXPECT_FALSE(get_bit(buf, 9));
+}
+
+TEST(BitUtil, BitZeroIsLsbOfByteZero) {
+  std::vector<std::uint8_t> buf(2, 0);
+  set_bit(buf, 0, true);
+  EXPECT_EQ(buf[0], 1u);
+  set_bit(buf, 8, true);
+  EXPECT_EQ(buf[1], 1u);
+}
+
+TEST(BitUtil, FlipReturnsNewValue) {
+  std::vector<std::uint8_t> buf(1, 0);
+  EXPECT_TRUE(flip_bit(buf, 3));
+  EXPECT_FALSE(flip_bit(buf, 3));
+  EXPECT_EQ(buf[0], 0u);
+}
+
+TEST(BitUtil, PopcountAndOnesFraction) {
+  std::vector<std::uint8_t> buf{0xFF, 0x00, 0x0F};
+  EXPECT_EQ(popcount(buf), 12u);
+  EXPECT_DOUBLE_EQ(ones_fraction(buf), 12.0 / 24.0);
+}
+
+TEST(BitUtil, EmptyBuffer) {
+  std::vector<std::uint8_t> empty;
+  EXPECT_EQ(bit_count(std::span<const std::uint8_t>(empty)), 0u);
+  EXPECT_EQ(popcount(empty), 0u);
+  EXPECT_EQ(ones_fraction(empty), 0.0);
+}
+
+TEST(BitUtil, OutOfRangeThrows) {
+  std::vector<std::uint8_t> buf(1, 0);
+  EXPECT_THROW(get_bit(buf, 8), Error);
+  EXPECT_THROW(set_bit(buf, 8, true), Error);
+  EXPECT_THROW(flip_bit(buf, 8), Error);
+}
+
+}  // namespace
+}  // namespace frlfi

@@ -1,0 +1,71 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+TEST(Campaign, RunsRequestedTrials) {
+  CampaignConfig cfg;
+  cfg.trials = 17;
+  std::size_t calls = 0;
+  const CampaignResult r = run_campaign(cfg, [&](Rng&) {
+    ++calls;
+    return 1.0;
+  });
+  EXPECT_EQ(calls, 17u);
+  EXPECT_EQ(r.stats.count(), 17u);
+  EXPECT_DOUBLE_EQ(r.stats.mean(), 1.0);
+}
+
+TEST(Campaign, DeterministicForSeed) {
+  CampaignConfig cfg;
+  cfg.seed = 123;
+  cfg.trials = 10;
+  auto fn = [](Rng& rng) { return rng.uniform(); };
+  const CampaignResult a = run_campaign(cfg, fn);
+  const CampaignResult b = run_campaign(cfg, fn);
+  EXPECT_DOUBLE_EQ(a.stats.mean(), b.stats.mean());
+  EXPECT_DOUBLE_EQ(a.stats.variance(), b.stats.variance());
+}
+
+TEST(Campaign, TrialsAreIndependentStreams) {
+  CampaignConfig cfg;
+  cfg.trials = 2;
+  std::vector<double> vals;
+  run_campaign(cfg, [&](Rng& rng) {
+    vals.push_back(rng.uniform());
+    return 0.0;
+  });
+  EXPECT_NE(vals[0], vals[1]);
+}
+
+TEST(Campaign, SeedChangesResults) {
+  CampaignConfig a{.seed = 1, .trials = 5};
+  CampaignConfig b{.seed = 2, .trials = 5};
+  auto fn = [](Rng& rng) { return rng.uniform(); };
+  EXPECT_NE(run_campaign(a, fn).stats.mean(), run_campaign(b, fn).stats.mean());
+}
+
+TEST(Campaign, CiReflectsSpread) {
+  CampaignConfig cfg{.seed = 3, .trials = 100};
+  const CampaignResult r =
+      run_campaign(cfg, [](Rng& rng) { return rng.uniform(); });
+  const ConfidenceInterval ci = r.ci();
+  EXPECT_GT(ci.margin(), 0.0);
+  EXPECT_LT(ci.margin(), 0.2);
+  EXPECT_NEAR(ci.mean, 0.5, 0.15);
+}
+
+TEST(Campaign, RejectsInvalidConfig) {
+  CampaignConfig cfg;
+  cfg.trials = 0;
+  EXPECT_THROW(run_campaign(cfg, [](Rng&) { return 0.0; }), Error);
+  cfg.trials = 1;
+  EXPECT_THROW(run_campaign(cfg, std::function<double(Rng&)>()), Error);
+}
+
+}  // namespace
+}  // namespace frlfi

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "dronesim/camera.hpp"
+#include "dronesim/drone_env.hpp"
+#include "dronesim/heuristic.hpp"
+#include "dronesim/world.hpp"
+
+namespace frlfi {
+namespace {
+
+TEST(ObstacleWorld, DeterministicPerSeed) {
+  ObstacleWorld a(42), b(42), c(43);
+  int same = 0, diff = 0;
+  for (int x = -5; x <= 5; ++x) {
+    for (int y = -5; y <= 5; ++y) {
+      const auto oa = a.obstacle_in_cell(x, y);
+      const auto ob = b.obstacle_in_cell(x, y);
+      const auto oc = c.obstacle_in_cell(x, y);
+      EXPECT_EQ(oa.has_value(), ob.has_value());
+      if (oa && ob) {
+        EXPECT_EQ(oa->center.x, ob->center.x);
+        EXPECT_EQ(oa->radius, ob->radius);
+      }
+      (oa.has_value() == oc.has_value() ? same : diff) += 1;
+    }
+  }
+  EXPECT_GT(diff, 0);  // different seeds differ somewhere
+}
+
+TEST(ObstacleWorld, ObstacleStaysInsideItsCell) {
+  ObstacleWorld w(7);
+  const double cell = w.options().cell_size;
+  for (int x = -20; x <= 20; ++x) {
+    for (int y = -20; y <= 20; ++y) {
+      const auto ob = w.obstacle_in_cell(x, y);
+      if (!ob) continue;
+      EXPECT_GE(ob->center.x - ob->radius, x * cell - 1e-9);
+      EXPECT_LE(ob->center.x + ob->radius, (x + 1) * cell + 1e-9);
+      EXPECT_GE(ob->center.y - ob->radius, y * cell - 1e-9);
+      EXPECT_LE(ob->center.y + ob->radius, (y + 1) * cell + 1e-9);
+      EXPECT_GE(ob->radius, w.options().min_radius);
+      EXPECT_LE(ob->radius, w.options().max_radius);
+    }
+  }
+}
+
+TEST(ObstacleWorld, SpawnZoneIsClear) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 99ull}) {
+    ObstacleWorld w(seed);
+    EXPECT_FALSE(w.collides({0.0, 0.0}));
+    EXPECT_GE(w.clearance({0.0, 0.0}), 0.0);
+  }
+}
+
+TEST(ObstacleWorld, DensityRoughlyMatches) {
+  ObstacleWorld::Options opts;
+  opts.density = 0.4;
+  opts.spawn_clearance = 0.0;
+  ObstacleWorld w(5, opts);
+  int present = 0, total = 0;
+  for (int x = 10; x < 40; ++x)
+    for (int y = 10; y < 40; ++y) {
+      present += w.obstacle_in_cell(x, y).has_value();
+      ++total;
+    }
+  EXPECT_NEAR(static_cast<double>(present) / total, 0.4, 0.07);
+}
+
+TEST(ObstacleWorld, CollidesAndClearanceAgree) {
+  ObstacleWorld w(11);
+  // Find one obstacle and probe points around it.
+  for (int x = 1; x < 50; ++x) {
+    const auto ob = w.obstacle_in_cell(x, x);
+    if (!ob) continue;
+    EXPECT_TRUE(w.collides(ob->center));
+    EXPECT_LT(w.clearance(ob->center), 0.0);
+    const Vec2 outside{ob->center.x + ob->radius + 2.0, ob->center.y};
+    EXPECT_FALSE(w.collides(outside));
+    EXPECT_NEAR(w.clearance(outside), 2.0, 0.5);  // maybe closer to another
+    return;
+  }
+  FAIL() << "no obstacle found on the diagonal";
+}
+
+TEST(ObstacleWorld, RayHitsKnownObstacle) {
+  ObstacleWorld w(13);
+  for (int x = 2; x < 60; ++x) {
+    const auto ob = w.obstacle_in_cell(x, 0);
+    if (!ob) continue;
+    // Cast from just left of the obstacle straight at its centre.
+    const Vec2 origin{ob->center.x - 20.0, ob->center.y};
+    const double d = w.cast_ray(origin, 0.0, 100.0);
+    EXPECT_NEAR(d, 20.0 - ob->radius, 0.5);
+    return;
+  }
+  FAIL() << "no obstacle found on row 0";
+}
+
+TEST(ObstacleWorld, RayReturnsMaxRangeInFreeSpace) {
+  ObstacleWorld::Options opts;
+  opts.density = 0.0;
+  ObstacleWorld w(1, opts);
+  EXPECT_DOUBLE_EQ(w.cast_ray({0, 0}, 1.0, 60.0), 60.0);
+}
+
+TEST(ObstacleWorld, RejectsBadOptions) {
+  ObstacleWorld::Options opts;
+  opts.max_radius = opts.cell_size;  // obstacle cannot fit
+  EXPECT_THROW(ObstacleWorld(1, opts), Error);
+}
+
+TEST(DroneCamera, RenderShapeAndChannels) {
+  DroneCamera cam;
+  ObstacleWorld w(3);
+  const Tensor img = cam.render(w, {0, 0}, 0.0);
+  ASSERT_EQ(img.shape(),
+            (std::vector<std::size_t>{3, cam.options().height,
+                                      cam.options().width}));
+  // All channel values bounded in [0, 1].
+  EXPECT_GE(img.min(), 0.0f);
+  EXPECT_LE(img.max(), 1.0f);
+}
+
+TEST(DroneCamera, DepthScanMatchesRayCast) {
+  DroneCamera cam;
+  ObstacleWorld w(5);
+  const auto depths = cam.depth_scan(w, {0, 0}, 0.5);
+  ASSERT_EQ(depths.size(), cam.options().width);
+  for (double d : depths) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, cam.options().max_range);
+  }
+}
+
+TEST(DroneCamera, FreeWorldRendersNoObstaclePixels) {
+  ObstacleWorld::Options wopts;
+  wopts.density = 0.0;
+  ObstacleWorld w(1, wopts);
+  DroneCamera cam;
+  const Tensor img = cam.render(w, {0, 0}, 0.0);
+  // Channel 0 (obstacle intensity) must be all zero.
+  for (std::size_t r = 0; r < cam.options().height; ++r)
+    for (std::size_t c = 0; c < cam.options().width; ++c)
+      EXPECT_EQ(img.at3(0, r, c), 0.0f);
+}
+
+TEST(DroneCamera, CloserObstacleLooksBigger) {
+  // A clear world with one synthetic obstacle row is hard to build through
+  // hashing; instead compare obstacle pixel counts at two distances from a
+  // real obstacle.
+  ObstacleWorld w(13);
+  for (int x = 2; x < 60; ++x) {
+    const auto ob = w.obstacle_in_cell(x, 0);
+    if (!ob) continue;
+    DroneCamera cam;
+    const auto count_px = [&](double dist) {
+      const Tensor img =
+          cam.render(w, {ob->center.x - dist, ob->center.y}, 0.0);
+      int n = 0;
+      for (std::size_t i = 0; i < img.size() / 3; ++i)
+        n += img[i] > 0.0f;
+      return n;
+    };
+    EXPECT_GT(count_px(10.0), count_px(40.0));
+    return;
+  }
+  FAIL() << "no obstacle found";
+}
+
+TEST(DroneNavEnv, ActionDecoding) {
+  DroneNavEnv env(1);
+  // Action 12 = yaw index 2 (straight), speed index 2 (middle).
+  const auto [yaw, speed] = env.decode_action(12);
+  EXPECT_DOUBLE_EQ(yaw, 0.0);
+  EXPECT_NEAR(speed, (env.options().min_speed + env.options().max_speed) / 2,
+              1e-9);
+  const auto [yaw_l, speed_max] = env.decode_action(24);
+  EXPECT_GT(yaw_l, 0.0);
+  EXPECT_DOUBLE_EQ(speed_max, env.options().max_speed);
+  EXPECT_THROW(env.decode_action(25), Error);
+}
+
+TEST(DroneNavEnv, ResetGivesImageAndZeroDistance) {
+  DroneNavEnv env(2);
+  Rng rng(1);
+  const Tensor obs = env.reset(rng);
+  EXPECT_EQ(obs.shape(), env.observation_shape());
+  EXPECT_EQ(env.flight_distance(), 0.0);
+}
+
+TEST(DroneNavEnv, StepAccumulatesDistance) {
+  DroneNavEnv::Options opts;
+  opts.world.density = 0.0;  // free space
+  DroneNavEnv env(3, opts, DroneCamera::Options{});
+  Rng rng(1);
+  env.reset(rng);
+  const auto [yaw, speed] = env.decode_action(14);  // straight, fastest
+  env.step(14, rng);
+  EXPECT_NEAR(env.flight_distance(), speed * opts.dt, 1e-9);
+  (void)yaw;
+}
+
+TEST(DroneNavEnv, ReachingDistanceBudgetSucceeds) {
+  DroneNavEnv::Options opts;
+  opts.world.density = 0.0;
+  opts.max_distance = 20.0;
+  DroneNavEnv env(4, opts, DroneCamera::Options{});
+  Rng rng(1);
+  env.reset(rng);
+  StepResult r;
+  for (int t = 0; t < 100; ++t) {
+    r = env.step(14, rng);
+    if (r.done) break;
+  }
+  EXPECT_TRUE(r.done);
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(env.flight_distance(), 20.0);
+}
+
+TEST(DroneNavEnv, StepCapFails) {
+  DroneNavEnv::Options opts;
+  opts.world.density = 0.0;
+  opts.max_steps = 5;
+  DroneNavEnv env(5, opts, DroneCamera::Options{});
+  Rng rng(1);
+  env.reset(rng);
+  StepResult r;
+  for (int t = 0; t < 5; ++t) r = env.step(10, rng);  // slow straight
+  EXPECT_TRUE(r.done);
+  EXPECT_FALSE(r.success);
+  EXPECT_THROW(env.step(0, rng), Error);
+}
+
+TEST(DroneNavEnv, FlyingIntoObstacleCrashes) {
+  DroneNavEnv env(6);
+  Rng rng(2);
+  env.reset(rng);
+  // Fly straight at max speed until something ends the episode; in a
+  // default-density world with a fixed heading that must be a crash or the
+  // distance budget.
+  StepResult r;
+  int steps = 0;
+  do {
+    r = env.step(14, rng);
+    ++steps;
+  } while (!r.done && steps < 1000);
+  EXPECT_TRUE(r.done);
+}
+
+TEST(DroneNavEnv, RewardPositiveInOpenSpace) {
+  DroneNavEnv::Options opts;
+  opts.world.density = 0.0;
+  DroneNavEnv env(7, opts, DroneCamera::Options{});
+  Rng rng(1);
+  env.reset(rng);
+  EXPECT_GT(env.step(14, rng).reward, 0.0f);
+}
+
+TEST(HeuristicPilot, SteersTowardOpenSector) {
+  DroneNavEnv env(8);
+  HeuristicPilot pilot(env);
+  // Depth scan with the left blocked: pilot must not turn left.
+  std::vector<double> depths(env.camera().options().width, 60.0);
+  for (std::size_t c = 0; c < depths.size() / 2; ++c) depths[c] = 3.0;
+  const std::size_t action = pilot.act_from_depths(depths);
+  const auto [yaw, speed] = env.decode_action(action);
+  EXPECT_LT(yaw, 0.0);  // right turn
+  (void)speed;
+}
+
+TEST(HeuristicPilot, SlowsWhenBoxedIn) {
+  DroneNavEnv env(9);
+  HeuristicPilot pilot(env);
+  std::vector<double> near(env.camera().options().width, 2.0);
+  const auto [yaw, speed] = env.decode_action(pilot.act_from_depths(near));
+  EXPECT_DOUBLE_EQ(speed, env.options().min_speed);
+  (void)yaw;
+}
+
+TEST(HeuristicPilot, FliesFarInDefaultWorld) {
+  DroneNavEnv env(10);
+  HeuristicPilot pilot(env);
+  Rng rng(3);
+  double total = 0.0;
+  constexpr int kEpisodes = 3;
+  for (int e = 0; e < kEpisodes; ++e) {
+    env.reset(rng);
+    for (std::size_t t = 0; t < env.options().max_steps; ++t)
+      if (env.step(pilot.act(env), rng).done) break;
+    total += env.flight_distance();
+  }
+  EXPECT_GT(total / kEpisodes, 400.0);
+}
+
+}  // namespace
+}  // namespace frlfi

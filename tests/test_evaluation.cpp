@@ -1,0 +1,130 @@
+#include "frl/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frl/policies.hpp"
+#include "mitigation/range_detector.hpp"
+#include "nn/dense.hpp"
+#include "test_util.hpp"
+
+namespace frlfi {
+namespace {
+
+using testing::ChainEnv;
+
+/// A 1->2 policy hard-wired to always prefer action 1 ("right").
+Network always_right() {
+  Rng rng(1);
+  Network net;
+  auto d = std::make_unique<Dense>(1, 2, rng);
+  d->weight().value.fill(0.0f);
+  d->bias().value = Tensor::from_vector({0.0f, 1.0f});
+  net.add(std::move(d));
+  return net;
+}
+
+TEST(GreedyEpisode, FollowsArgmaxToGoal) {
+  Network net = always_right();
+  ChainEnv env(4);
+  Rng rng(1);
+  const EpisodeStats stats = greedy_episode(net, env, rng, 50);
+  EXPECT_TRUE(stats.success);
+  EXPECT_EQ(stats.steps, 4u);
+}
+
+TEST(GreedyEpisode, StepCapFails) {
+  Network net = always_right();
+  ChainEnv env(100);
+  Rng rng(1);
+  const EpisodeStats stats = greedy_episode(net, env, rng, 5);
+  EXPECT_FALSE(stats.success);
+  EXPECT_EQ(stats.steps, 5u);
+}
+
+TEST(GreedyEpisodeTrans1, WeightsRestoredAfterEpisode) {
+  Network net = always_right();
+  const std::vector<float> before = net.flat_parameters();
+  ChainEnv env(4);
+  Rng rng(2);
+  InferenceFaultScenario scenario;
+  scenario.spec.model = FaultModel::TransientSingleStep;
+  scenario.spec.ber = 0.5;
+  greedy_episode_trans1(net, env, rng, 20, scenario);
+  EXPECT_EQ(net.flat_parameters(), before);
+}
+
+TEST(GreedyEpisodeTrans1, ZeroBerBehavesLikeClean) {
+  Network net = always_right();
+  ChainEnv env(4);
+  Rng rng(3);
+  InferenceFaultScenario scenario;
+  scenario.spec.model = FaultModel::TransientSingleStep;
+  scenario.spec.ber = 0.0;
+  const EpisodeStats stats = greedy_episode_trans1(net, env, rng, 50, scenario);
+  EXPECT_TRUE(stats.success);
+  EXPECT_EQ(stats.steps, 4u);
+}
+
+TEST(StaticFault, CorruptsAndOptionallyRepairs) {
+  Rng init(4);
+  Network net = make_gridworld_policy(init);
+  const RangeAnomalyDetector detector(net, {.margin = 0.10});
+
+  Network corrupted = net.clone();
+  InferenceFaultScenario scenario;
+  scenario.spec.model = FaultModel::TransientPersistent;
+  scenario.spec.ber = 0.05;
+  Rng rng(5);
+  const InjectionReport r =
+      apply_static_inference_fault(corrupted, scenario, rng);
+  EXPECT_GT(r.bits_flipped, 0u);
+  EXPECT_NE(corrupted.flat_parameters(), net.flat_parameters());
+
+  // With the detector attached, no out-of-range weight survives.
+  Network repaired = net.clone();
+  scenario.detector = &detector;
+  Rng rng2(5);
+  apply_static_inference_fault(repaired, scenario, rng2);
+  EXPECT_EQ(detector.scan(repaired), 0u);
+}
+
+TEST(StaticFault, DefaultDeploymentIsFixedPoint16) {
+  Rng init(6);
+  Network net = make_gridworld_policy(init);
+  InferenceFaultScenario scenario;
+  scenario.spec.ber = 0.0;
+  Rng rng(7);
+  const InjectionReport r = apply_static_inference_fault(net, scenario, rng);
+  EXPECT_EQ(r.bits_flipped, 0u);
+  EXPECT_EQ(r.bits_total, net.parameter_count() * 16);  // 16-bit words
+}
+
+TEST(StaticFault, Int8PathUsesByteWords) {
+  Rng init(8);
+  Network net = make_gridworld_policy(init);
+  InferenceFaultScenario scenario;
+  scenario.spec.ber = 0.0;
+  scenario.use_int8 = true;
+  Rng rng(9);
+  const InjectionReport r = apply_static_inference_fault(net, scenario, rng);
+  EXPECT_EQ(r.bits_total, net.parameter_count() * 8);
+}
+
+TEST(StaticFault, FixedPointFlipsCreateOutOfRangeOutliers) {
+  // The mechanism behind §V-B: high-bit flips in the Q(1,7,8) deployment
+  // produce values far outside the trained weight range, which the range
+  // detector can see.
+  Rng init(10);
+  Network net = make_gridworld_policy(init);
+  RangeAnomalyDetector detector(net, {.margin = 0.10});
+  InferenceFaultScenario scenario;
+  scenario.spec.model = FaultModel::TransientPersistent;
+  scenario.spec.ber = 0.01;
+  Network corrupted = net.clone();
+  Rng rng(11);
+  apply_static_inference_fault(corrupted, scenario, rng);
+  EXPECT_GT(detector.scan(corrupted), 0u);
+}
+
+}  // namespace
+}  // namespace frlfi

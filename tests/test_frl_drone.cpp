@@ -1,0 +1,152 @@
+#include "frl/drone_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+/// Reduced offline phase so the whole suite stays fast; the same cached
+/// pretraining is shared by every test using this config + seed.
+DroneFrlSystem::Config test_config(std::size_t n_drones = 2) {
+  DroneFrlSystem::Config cfg;
+  cfg.n_drones = n_drones;
+  cfg.imitation_episodes = 60;
+  return cfg;
+}
+
+constexpr std::uint64_t kSeed = 21;
+
+TEST(DroneFrl, PretrainedPolicyFliesReasonably) {
+  DroneFrlSystem sys(test_config(), kSeed);
+  EXPECT_GT(sys.evaluate_flight_distance(4, 99), 200.0);
+}
+
+TEST(DroneFrl, PretrainingIsCachedAcrossInstances) {
+  const auto& a = DroneFrlSystem::pretrained_parameters(test_config(), kSeed);
+  const auto& b = DroneFrlSystem::pretrained_parameters(test_config(), kSeed);
+  EXPECT_EQ(&a, &b);  // same cached vector
+}
+
+TEST(DroneFrl, FineTuningDoesNotCollapse) {
+  DroneFrlSystem sys(test_config(), kSeed);
+  const double before = sys.evaluate_flight_distance(4, 99);
+  sys.train(30);
+  const double after = sys.evaluate_flight_distance(4, 99);
+  EXPECT_GT(after, before * 0.7);
+}
+
+TEST(DroneFrl, DeterministicAcrossRuns) {
+  DroneFrlSystem a(test_config(), kSeed), b(test_config(), kSeed);
+  a.train(10);
+  b.train(10);
+  EXPECT_EQ(a.drone_network(0).flat_parameters(),
+            b.drone_network(0).flat_parameters());
+}
+
+TEST(DroneFrl, SnapshotRestoreReplaysIdentically) {
+  DroneFrlSystem sys(test_config(), kSeed);
+  sys.train(6);
+  const auto snap = sys.snapshot();
+  sys.train(6);
+  const auto direct = sys.drone_network(0).flat_parameters();
+  sys.restore(snap);
+  EXPECT_EQ(sys.episode(), 6u);
+  sys.train(6);
+  EXPECT_EQ(sys.drone_network(0).flat_parameters(), direct);
+}
+
+TEST(DroneFrl, CommunicationRoundsFollowInterval) {
+  DroneFrlSystem::Config cfg = test_config();
+  cfg.comm_interval = 3;
+  DroneFrlSystem sys(cfg, kSeed);
+  sys.train(12);
+  EXPECT_EQ(sys.communication_rounds(), 4u);
+  EXPECT_GT(sys.communication_bytes(), 0u);
+}
+
+TEST(DroneFrl, CommIntervalBoostReducesRounds) {
+  DroneFrlSystem::Config boosted = test_config();
+  boosted.comm_interval = 2;
+  boosted.boost_after_episode = 6;
+  boosted.comm_interval_boost = 3;
+  DroneFrlSystem sys(boosted, kSeed);
+  sys.train(18);
+  // Episodes 0..5: rounds at 1,3,5 -> 3 rounds; then interval 6:
+  // rounds at 11,17 -> 2 rounds.
+  EXPECT_EQ(sys.communication_rounds(), 5u);
+}
+
+TEST(DroneFrl, SingleDroneHasNoServer) {
+  DroneFrlSystem sys(test_config(1), kSeed);
+  sys.train(4);
+  EXPECT_EQ(sys.communication_bytes(), 0u);
+  EXPECT_EQ(sys.communication_rounds(), 0u);
+}
+
+TEST(DroneFrl, HeavyServerFaultReducesDistance) {
+  DroneFrlSystem::Config cfg = test_config();
+  DroneFrlSystem clean(cfg, kSeed);
+  clean.train(20);
+  const double d_clean = clean.evaluate_flight_distance(4, 99);
+
+  DroneFrlSystem faulty(cfg, kSeed);
+  TrainingFaultPlan plan;
+  plan.active = true;
+  plan.spec.site = FaultSite::ServerFault;
+  plan.spec.ber = 0.1;
+  plan.spec.episode = 19;  // right before evaluation
+  faulty.set_fault_plan(plan);
+  faulty.train(20);
+  const double d_faulty = faulty.evaluate_flight_distance(4, 99);
+  EXPECT_LT(d_faulty, d_clean * 0.8);
+}
+
+TEST(DroneFrl, InferenceFaultDegradesWithBer) {
+  DroneFrlSystem sys(test_config(), kSeed);
+  sys.train(10);
+  InferenceFaultScenario clean;
+  clean.spec.ber = 0.0;
+  InferenceFaultScenario heavy;
+  heavy.spec.model = FaultModel::TransientPersistent;
+  heavy.spec.ber = 0.1;
+  const double d_clean = sys.evaluate_inference_fault(clean, 3, 7);
+  const double d_heavy = sys.evaluate_inference_fault(heavy, 3, 7);
+  EXPECT_LT(d_heavy, d_clean);
+}
+
+TEST(DroneFrl, RangeDetectionImprovesFaultedInference) {
+  DroneFrlSystem sys(test_config(), kSeed);
+  sys.train(10);
+  Network healthy = sys.consensus_network();
+  RangeAnomalyDetector detector(healthy, {.margin = 0.10});
+  // Injection outcomes are heavy-tailed; compare means over several
+  // injection seeds as the paper's campaigns do.
+  double d_fault = 0.0, d_mitigated = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    InferenceFaultScenario fault;
+    fault.spec.model = FaultModel::TransientPersistent;
+    fault.spec.ber = 0.01;
+    d_fault += sys.evaluate_inference_fault(fault, 3, 100 + s);
+    fault.detector = &detector;
+    d_mitigated += sys.evaluate_inference_fault(fault, 3, 100 + s);
+  }
+  EXPECT_GT(d_mitigated, d_fault);
+}
+
+TEST(DroneFrl, Validation) {
+  DroneFrlSystem::Config cfg = test_config();
+  cfg.n_drones = 0;
+  EXPECT_THROW(DroneFrlSystem(cfg, 1), Error);
+  DroneFrlSystem sys(test_config(), kSeed);
+  EXPECT_THROW(sys.drone_network(5), Error);
+  TrainingFaultPlan plan;
+  plan.active = true;
+  plan.spec.site = FaultSite::AgentFault;
+  plan.spec.agent_index = 9;
+  EXPECT_THROW(sys.set_fault_plan(plan), Error);
+}
+
+}  // namespace
+}  // namespace frlfi

@@ -1,0 +1,136 @@
+#include "perfmodel/uav.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+TEST(UavSpec, PresetsMatchPaperPlatforms) {
+  const UavSpec air = UavSpec::airsim_drone();
+  EXPECT_NEAR(air.mass_kg, 1.652, 1e-9);            // 1652 g
+  EXPECT_NEAR(air.battery_wh, 6.25 * 11.1, 1e-9);   // 6250 mAh
+  const UavSpec spark = UavSpec::dji_spark();
+  EXPECT_NEAR(spark.mass_kg, 0.300, 1e-9);          // 300 g
+  EXPECT_NEAR(spark.battery_wh, 1.48 * 11.4, 1e-9); // 1480 mAh
+}
+
+TEST(ProtectionScheme, Presets) {
+  EXPECT_EQ(ProtectionScheme::baseline().compute_replicas, 1);
+  EXPECT_EQ(ProtectionScheme::dmr().compute_replicas, 2);
+  EXPECT_EQ(ProtectionScheme::tmr().compute_replicas, 3);
+  EXPECT_NEAR(ProtectionScheme::detection().runtime_overhead, 0.027, 1e-9);
+}
+
+TEST(Flight, BaselineIsFiniteAndPositive) {
+  const FlightPerformance p =
+      evaluate_flight(UavSpec::airsim_drone(), ProtectionScheme::baseline());
+  EXPECT_GT(p.safe_velocity, 1.0);
+  EXPECT_GT(p.safe_flight_distance_m, 10.0);
+  EXPECT_GT(p.endurance_s, 60.0);
+  EXPECT_GT(p.max_accel, 1.0);
+}
+
+TEST(Flight, MoreReplicasMonotonicallyWorse) {
+  for (const UavSpec& uav : {UavSpec::airsim_drone(), UavSpec::dji_spark()}) {
+    const double base =
+        evaluate_flight(uav, ProtectionScheme::baseline()).safe_flight_distance_m;
+    const double det =
+        evaluate_flight(uav, ProtectionScheme::detection()).safe_flight_distance_m;
+    const double dmr =
+        evaluate_flight(uav, ProtectionScheme::dmr()).safe_flight_distance_m;
+    const double tmr =
+        evaluate_flight(uav, ProtectionScheme::tmr()).safe_flight_distance_m;
+    EXPECT_GE(base, det);
+    EXPECT_GT(det, dmr);
+    EXPECT_GT(dmr, tmr);
+  }
+}
+
+TEST(Flight, DetectionDegradationIsNegligible) {
+  // The paper's claim: <2.7% runtime overhead, negligible performance loss.
+  for (const UavSpec& uav : {UavSpec::airsim_drone(), UavSpec::dji_spark()}) {
+    const double deg = distance_degradation_pct(
+        uav, ProtectionScheme::detection(), ProtectionScheme::baseline());
+    EXPECT_GE(deg, 0.0);
+    EXPECT_LT(deg, 2.0);
+  }
+}
+
+TEST(Flight, TmrHurtsMicroUavFarMoreThanMiniUav) {
+  // Fig. 9's punchline: hardware redundancy is catastrophic for the Spark
+  // (paper: -87.8% vs detection) but tolerable for the mini-UAV (-9.3%).
+  const double tmr_air = distance_degradation_pct(
+      UavSpec::airsim_drone(), ProtectionScheme::tmr(),
+      ProtectionScheme::detection());
+  const double tmr_spark = distance_degradation_pct(
+      UavSpec::dji_spark(), ProtectionScheme::tmr(),
+      ProtectionScheme::detection());
+  EXPECT_GT(tmr_spark, 60.0);
+  EXPECT_LT(tmr_air, 30.0);
+  EXPECT_GT(tmr_spark, tmr_air * 3);
+}
+
+TEST(Flight, RedundancyIncreasesPower) {
+  const UavSpec uav = UavSpec::airsim_drone();
+  const double p1 =
+      evaluate_flight(uav, ProtectionScheme::baseline()).total_power_w;
+  const double p3 = evaluate_flight(uav, ProtectionScheme::tmr()).total_power_w;
+  EXPECT_GT(p3, p1 + 15.0);  // at least the two extra boards
+}
+
+TEST(Flight, RuntimeOverheadLengthensLatency) {
+  const UavSpec uav = UavSpec::airsim_drone();
+  const double l0 =
+      evaluate_flight(uav, ProtectionScheme::baseline()).compute_latency_s;
+  const double ld =
+      evaluate_flight(uav, ProtectionScheme::detection()).compute_latency_s;
+  EXPECT_NEAR(ld, l0 * 1.027, 1e-9);
+}
+
+TEST(Flight, GroundedDroneHasZeroVelocity) {
+  UavSpec heavy = UavSpec::dji_spark();
+  heavy.board_mass_kg = 1.0;  // one extra board exceeds the thrust margin
+  const FlightPerformance p = evaluate_flight(heavy, ProtectionScheme::dmr());
+  EXPECT_EQ(p.safe_velocity, 0.0);
+  EXPECT_EQ(p.safe_flight_distance_m, 0.0);
+}
+
+TEST(Flight, EnduranceLimitsLongMissions) {
+  const UavSpec uav = UavSpec::dji_spark();
+  const FlightPerformance p =
+      evaluate_flight(uav, ProtectionScheme::baseline(), 1e9);
+  EXPECT_NEAR(p.safe_flight_distance_m, p.safe_velocity * p.endurance_s, 1e-6);
+}
+
+TEST(Flight, Validation) {
+  ProtectionScheme bad = ProtectionScheme::baseline();
+  bad.compute_replicas = 0;
+  EXPECT_THROW(evaluate_flight(UavSpec::airsim_drone(), bad), Error);
+  EXPECT_THROW(
+      evaluate_flight(UavSpec::airsim_drone(), ProtectionScheme::baseline(), 0.0),
+      Error);
+}
+
+/// Property: degradation vs baseline grows with replica count on any
+/// platform and stays within [0, 100].
+class ReplicaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicaProperty, DegradationMonotoneBounded) {
+  ProtectionScheme s{"custom", GetParam(), 0.03};
+  ProtectionScheme s_next{"custom+1", GetParam() + 1, 0.03};
+  for (const UavSpec& uav : {UavSpec::airsim_drone(), UavSpec::dji_spark()}) {
+    const double d = distance_degradation_pct(uav, s, ProtectionScheme::baseline());
+    const double d_next =
+        distance_degradation_pct(uav, s_next, ProtectionScheme::baseline());
+    EXPECT_LE(d, d_next + 1e-9);
+    EXPECT_GE(d, -1e-9);
+    EXPECT_LE(d_next, 100.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Replicas, ReplicaProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace frlfi

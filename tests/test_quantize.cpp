@@ -1,0 +1,92 @@
+#include "numeric/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+TEST(Int8Quantizer, CalibrationMapsMaxTo127) {
+  const std::vector<float> data{0.5f, -2.0f, 1.0f};
+  const Int8Quantizer q = Int8Quantizer::calibrate(data);
+  EXPECT_EQ(q.quantize(-2.0f), -127);
+  EXPECT_EQ(q.quantize(2.0f), 127);
+}
+
+TEST(Int8Quantizer, RoundTripWithinHalfStep) {
+  const std::vector<float> data{0.9f, -0.4f, 0.1f, -1.0f};
+  const Int8Quantizer q = Int8Quantizer::calibrate(data);
+  for (float v : data)
+    EXPECT_NEAR(q.dequantize(q.quantize(v)), v, q.scale() / 2.0f + 1e-7f);
+}
+
+TEST(Int8Quantizer, ClampsBeyondRange) {
+  const Int8Quantizer q(0.01f);
+  EXPECT_EQ(q.quantize(100.0f), 127);
+  EXPECT_EQ(q.quantize(-100.0f), -127);
+}
+
+TEST(Int8Quantizer, ZeroIsExact) {
+  const Int8Quantizer q(0.033f);
+  EXPECT_EQ(q.quantize(0.0f), 0);
+  EXPECT_EQ(q.dequantize(0), 0.0f);
+}
+
+TEST(Int8Quantizer, AllZeroDataStillHasValidScale) {
+  const std::vector<float> zeros(10, 0.0f);
+  const Int8Quantizer q = Int8Quantizer::calibrate(zeros);
+  EXPECT_GT(q.scale(), 0.0f);
+  EXPECT_EQ(q.quantize(0.0f), 0);
+}
+
+TEST(Int8Quantizer, BufferInterfacesMatchScalar) {
+  const std::vector<float> data{0.3f, -0.7f, 0.0f, 1.5f};
+  const Int8Quantizer q = Int8Quantizer::calibrate(data);
+  const auto qs = q.quantize(data);
+  const auto back = q.dequantize(qs);
+  ASSERT_EQ(back.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(qs[i], q.quantize(data[i]));
+    EXPECT_EQ(back[i], q.dequantize(qs[i]));
+  }
+}
+
+TEST(Int8Quantizer, InvalidScaleThrows) {
+  EXPECT_THROW(Int8Quantizer(0.0f), Error);
+  EXPECT_THROW(Int8Quantizer(-1.0f), Error);
+  EXPECT_THROW(Int8Quantizer(std::numeric_limits<float>::infinity()), Error);
+}
+
+TEST(Int8RoundTrip, ErrorBoundedByScale) {
+  std::vector<float> data;
+  for (int i = 0; i < 100; ++i)
+    data.push_back(std::sin(i * 0.37f) * 2.0f);
+  const auto back = int8_roundtrip(data);
+  const float step = 2.0f / 127.0f;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    EXPECT_NEAR(back[i], data[i], step);
+}
+
+/// Property: round-trip error is at most scale/2 for any magnitude scale.
+class QuantizeScaleProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(QuantizeScaleProperty, HalfStepBound) {
+  const float magnitude = GetParam();
+  std::vector<float> data;
+  for (int i = -10; i <= 10; ++i)
+    data.push_back(magnitude * static_cast<float>(i) / 10.0f);
+  const Int8Quantizer q = Int8Quantizer::calibrate(data);
+  // Allow a whisker beyond half a step for float rounding at the boundary.
+  const float tol = q.scale() / 2.0f * 1.001f + 1e-6f;
+  for (float v : data)
+    EXPECT_NEAR(q.dequantize(q.quantize(v)), v, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, QuantizeScaleProperty,
+                         ::testing::Values(1e-4f, 0.1f, 1.0f, 10.0f, 1e4f));
+
+}  // namespace
+}  // namespace frlfi

@@ -1,0 +1,186 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace frlfi {
+namespace {
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, kN / 10, kN / 10 * 0.15);
+}
+
+TEST(Rng, UniformIndexOneAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMomentsAreStandard) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaling) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w{1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(w)];
+  EXPECT_NEAR(counts[0], kN / 4, kN * 0.02);
+  EXPECT_NEAR(counts[1], 3 * kN / 4, kN * 0.02);
+  EXPECT_EQ(counts[2], 0);
+}
+
+TEST(Rng, CategoricalAllZeroFallsBackToUniform) {
+  Rng rng(37);
+  std::vector<double> w{0.0, 0.0, 0.0, 0.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.categorical(w)];
+  for (int c : counts) EXPECT_GT(c, 500);
+}
+
+TEST(Rng, SplitIsIndependentOfStreamPosition) {
+  Rng a(99), b(99);
+  b.next_u64();
+  b.next_u64();
+  Rng ca = a.split(5), cb = b.split(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, SplitChildrenDiffer) {
+  Rng a(99);
+  Rng c0 = a.split(0), c1 = a.split(1);
+  EXPECT_NE(c0.next_u64(), c1.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+/// Property sweep: uniform_index never exceeds its bound for many n.
+class RngIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngIndexProperty, NeverOutOfRange) {
+  Rng rng(GetParam());
+  for (std::uint64_t n : {1ull, 2ull, 3ull, 10ull, 127ull, 1000ull}) {
+    for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.uniform_index(n), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngIndexProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337, 0xDEADBEEF));
+
+}  // namespace
+}  // namespace frlfi

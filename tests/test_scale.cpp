@@ -1,0 +1,46 @@
+#include "core/scale.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frlfi {
+namespace {
+
+TEST(RunScale, TrialsDividedAndFloored) {
+  RunScale& s = RunScale::instance();
+  const std::size_t saved = s.divisor();
+  s.set_divisor(10);
+  EXPECT_EQ(s.trials(1000), 100u);
+  EXPECT_EQ(s.trials(5), 1u);   // never below one trial
+  EXPECT_EQ(s.trials(0), 1u);
+  s.set_divisor(saved);
+}
+
+TEST(RunScale, DivisorClampedToOne) {
+  RunScale& s = RunScale::instance();
+  const std::size_t saved = s.divisor();
+  s.set_divisor(0);
+  EXPECT_EQ(s.divisor(), 1u);
+  EXPECT_EQ(s.trials(42), 42u);
+  s.set_divisor(saved);
+}
+
+TEST(RunScale, EpisodesHonourFloor) {
+  RunScale& s = RunScale::instance();
+  const std::size_t saved = s.divisor();
+  s.set_divisor(100);
+  EXPECT_EQ(s.episodes(1000, 300), 300u);
+  s.set_divisor(2);
+  EXPECT_EQ(s.episodes(1000, 300), 500u);
+  s.set_divisor(saved);
+}
+
+TEST(RunScale, ShorthandMatchesInstance) {
+  RunScale& s = RunScale::instance();
+  const std::size_t saved = s.divisor();
+  s.set_divisor(4);
+  EXPECT_EQ(scaled_trials(100), 25u);
+  s.set_divisor(saved);
+}
+
+}  // namespace
+}  // namespace frlfi

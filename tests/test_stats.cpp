@@ -1,0 +1,157 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchManual) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMaxTracked) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(10.0);
+  EXPECT_EQ(s.min(), -1.0);
+  EXPECT_EQ(s.max(), 10.0);
+}
+
+TEST(RunningStats, SingleObservationHasZeroVariance) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 5.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 3 + i * 0.01;
+    (i < 20 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.mean(), mean);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.mean(), mean);
+  EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(Ci95, WidthShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(ci95(small).margin(), ci95(large).margin());
+}
+
+TEST(Ci95, CentredOnMean) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.add(i % 5);
+  const ConfidenceInterval ci = ci95(s);
+  EXPECT_NEAR((ci.lo + ci.hi) / 2.0, ci.mean, 1e-12);
+}
+
+TEST(Wilson95, DegenerateCases) {
+  EXPECT_EQ(wilson95(0, 0).mean, 0.0);
+  const ConfidenceInterval all = wilson95(100, 100);
+  EXPECT_EQ(all.mean, 1.0);
+  EXPECT_LT(all.lo, 1.0);   // never certain
+  EXPECT_GT(all.lo, 0.9);
+  EXPECT_GT(all.hi, 0.99);  // Wilson hi at p=1 is just below 1
+  const ConfidenceInterval none = wilson95(0, 100);
+  EXPECT_GT(none.hi, 0.0);
+  EXPECT_LT(none.lo, 0.01);
+}
+
+TEST(Wilson95, ContainsProportion) {
+  const ConfidenceInterval ci = wilson95(30, 100);
+  EXPECT_LT(ci.lo, 0.3);
+  EXPECT_GT(ci.hi, 0.3);
+}
+
+TEST(Wilson95, RejectsMoreSuccessesThanTrials) {
+  EXPECT_THROW(wilson95(5, 4), Error);
+}
+
+TEST(VectorStats, MeanStddev) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.5);
+  EXPECT_NEAR(stddev_of(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(population_stddev_of(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(VectorStats, EmptyAndSingleton) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(stddev_of({}), 0.0);
+  EXPECT_EQ(stddev_of({3.0}), 0.0);
+  EXPECT_EQ(population_stddev_of({}), 0.0);
+  EXPECT_EQ(population_stddev_of({3.0}), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile_of(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_of(v, 0.5), 2.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile_of({}, 0.5), Error);
+  EXPECT_THROW(quantile_of({1.0}, 1.5), Error);
+}
+
+/// Property: merging a stream split at any point matches the whole stream.
+class MergeSplitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeSplitProperty, AnySplitPointMatches) {
+  const int split = GetParam();
+  RunningStats a, b, all;
+  for (int i = 0; i < 40; ++i) {
+    const double x = (i * 37 % 11) - 5.0;
+    (i < split ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(SplitPoints, MergeSplitProperty,
+                         ::testing::Values(0, 1, 5, 20, 39, 40));
+
+}  // namespace
+}  // namespace frlfi

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file test_util.hpp
+/// Miniature deterministic environments for exercising the RL and
+/// evaluation machinery without the full navigation stacks.
+
+#include "rl/env.hpp"
+
+namespace frlfi::testing {
+
+/// A length-N chain: state x in [0, N]; action 1 moves right (+1), action
+/// 0 moves left (-1, floored at 0). Reaching N is success (+1 reward);
+/// every other step costs -0.01. Observation: x/N as a single feature.
+class ChainEnv final : public Environment {
+ public:
+  explicit ChainEnv(std::size_t length = 6) : length_(length) {}
+
+  Tensor reset(Rng& /*rng*/) override {
+    pos_ = 0;
+    return observe();
+  }
+
+  StepResult step(std::size_t action, Rng& /*rng*/) override {
+    if (action == 1) {
+      ++pos_;
+    } else if (pos_ > 0) {
+      --pos_;
+    }
+    StepResult r;
+    if (pos_ >= length_) {
+      r.reward = 1.0f;
+      r.done = true;
+      r.success = true;
+    } else {
+      r.reward = -0.01f;
+    }
+    r.observation = observe();
+    return r;
+  }
+
+  std::size_t action_count() const override { return 2; }
+  std::vector<std::size_t> observation_shape() const override { return {1}; }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  Tensor observe() const {
+    Tensor t({1});
+    t[0] = static_cast<float>(pos_) / static_cast<float>(length_);
+    return t;
+  }
+  std::size_t length_;
+  std::size_t pos_ = 0;
+};
+
+/// A one-step bandit with `arms` actions; pulling arm `best` yields +1,
+/// anything else 0. The episode ends after one pull.
+class BanditEnv final : public Environment {
+ public:
+  BanditEnv(std::size_t arms, std::size_t best) : arms_(arms), best_(best) {}
+
+  Tensor reset(Rng& /*rng*/) override { return Tensor({1}, 1.0f); }
+
+  StepResult step(std::size_t action, Rng& /*rng*/) override {
+    StepResult r;
+    r.reward = action == best_ ? 1.0f : 0.0f;
+    r.done = true;
+    r.success = action == best_;
+    r.observation = Tensor({1}, 1.0f);
+    return r;
+  }
+
+  std::size_t action_count() const override { return arms_; }
+  std::vector<std::size_t> observation_shape() const override { return {1}; }
+
+ private:
+  std::size_t arms_, best_;
+};
+
+}  // namespace frlfi::testing
