@@ -1,0 +1,234 @@
+/// \file bench_kernels.cpp
+/// Before/after report for the compute-kernel layer:
+///  * Conv2D forward/backward: naive 7-deep loops vs im2col + blocked GEMM
+///    at the paper's DroneNav policy shapes (GFLOP/s and speedup),
+///  * Tensor::matmul GFLOP/s at small/medium shapes,
+///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
+///    1000-trial campaign, with a bit-identity check on the stats.
+///
+/// Flags: --quick (CI smoke: fewer reps/trials), --threads=N (parallel lane
+/// count; default 4 or FRLFI_NUM_THREADS), --trials=N (campaign size).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/parallel.hpp"
+#include "frl/policies.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/tensor.hpp"
+
+namespace frlfi {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Run fn repeatedly for at least min_time seconds, return seconds/call.
+template <typename Fn>
+double time_per_call(double min_time, Fn&& fn) {
+  // Warm up once (also first-touch allocates workspaces).
+  fn();
+  std::size_t reps = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    const double dt = seconds_since(t0);
+    if (dt >= min_time) return dt / static_cast<double>(reps);
+    reps = dt > 0.0
+               ? static_cast<std::size_t>(
+                     static_cast<double>(reps) * (min_time / dt) * 1.25) +
+                     1
+               : reps * 4;
+  }
+}
+
+struct ConvShapeSpec {
+  const char* label;
+  std::size_t in_c, out_c, h, w, k, stride, pad;
+};
+
+// The DroneNav perception stack (input 3x18x32) plus one scaled-up shape
+// to show the kernels hold up beyond the paper's sizes.
+const ConvShapeSpec kConvShapes[] = {
+    {"drone conv0 3->6 k4 s3 (3x18x32)", 3, 6, 18, 32, 4, 3, 0},
+    {"drone conv1 6->12 k3 s2 (6x5x10)", 6, 12, 5, 10, 3, 2, 0},
+    {"drone conv2 12->16 k2 s1 (12x2x4)", 12, 16, 2, 4, 2, 1, 0},
+    {"scaled 16->32 k3 s1 p1 (16x32x32)", 16, 32, 32, 32, 3, 1, 1},
+};
+
+double conv_forward_flops(const ConvShapeSpec& s, const Conv2D& conv) {
+  const double taps = static_cast<double>(s.in_c) * s.k * s.k;
+  const double outs = static_cast<double>(s.out_c) *
+                      static_cast<double>(conv.out_extent(s.h)) *
+                      static_cast<double>(conv.out_extent(s.w));
+  return 2.0 * taps * outs;  // multiply + add per tap per output
+}
+
+void bench_conv(double min_time) {
+  std::printf("\n== Conv2D forward: naive loops vs im2col+GEMM ==\n");
+  std::printf("%-36s %12s %12s %8s\n", "shape", "naive GF/s", "gemm GF/s",
+              "speedup");
+  double worst = 1e300;
+  double stack_naive = 0.0, stack_gemm = 0.0;
+  for (const auto& s : kConvShapes) {
+    Rng rng(1);
+    Conv2D conv(s.in_c, s.out_c, s.k, s.stride, s.pad, rng, "bench");
+    Rng xr(2);
+    const Tensor x =
+        Tensor::random_uniform({s.in_c, s.h, s.w}, xr, -1.0f, 1.0f);
+    const double t_naive =
+        time_per_call(min_time, [&] { conv.forward_naive(x); });
+    const double t_gemm = time_per_call(min_time, [&] { conv.forward(x); });
+    const double flops = conv_forward_flops(s, conv);
+    const double speedup = t_naive / t_gemm;
+    worst = std::min(worst, speedup);
+    if (std::strncmp(s.label, "drone", 5) == 0) {
+      stack_naive += t_naive;
+      stack_gemm += t_gemm;
+    }
+    std::printf("%-36s %12.3f %12.3f %7.2fx\n", s.label, flops / t_naive / 1e9,
+                flops / t_gemm / 1e9, speedup);
+  }
+  std::printf("drone conv stack (policy forward): %.1f us -> %.1f us, %.2fx\n",
+              stack_naive * 1e6, stack_gemm * 1e6, stack_naive / stack_gemm);
+  std::printf("worst-case conv forward speedup: %.2fx %s\n", worst,
+              worst >= 5.0 ? "(target >=5x: PASS)" : "(target >=5x)");
+
+  std::printf("\n== Conv2D backward: naive loops vs GEMM/col2im ==\n");
+  std::printf("%-36s %12s %12s %8s\n", "shape", "naive ms", "gemm ms",
+              "speedup");
+  for (const auto& s : kConvShapes) {
+    Rng rng(3);
+    Conv2D conv(s.in_c, s.out_c, s.k, s.stride, s.pad, rng, "bench");
+    Rng xr(4);
+    const Tensor x =
+        Tensor::random_uniform({s.in_c, s.h, s.w}, xr, -1.0f, 1.0f);
+    const Tensor g = Tensor::random_uniform(
+        {s.out_c, conv.out_extent(s.h), conv.out_extent(s.w)}, xr, -1.0f, 1.0f);
+    conv.forward(x);
+    const double t_naive =
+        time_per_call(min_time, [&] { conv.backward_naive(g); });
+    const double t_gemm = time_per_call(min_time, [&] { conv.backward(g); });
+    std::printf("%-36s %12.4f %12.4f %7.2fx\n", s.label, t_naive * 1e3,
+                t_gemm * 1e3, t_naive / t_gemm);
+  }
+}
+
+void bench_matmul(double min_time) {
+  std::printf("\n== Tensor::matmul (blocked GEMM) ==\n");
+  std::printf("%-36s %12s\n", "shape", "GF/s");
+  const std::size_t sizes[][3] = {
+      {25, 48, 1}, {64, 64, 64}, {128, 256, 128}, {256, 256, 256}};
+  for (const auto& d : sizes) {
+    Rng rng(5);
+    const Tensor a = Tensor::random_uniform({d[0], d[1]}, rng, -1.0f, 1.0f);
+    const Tensor b = Tensor::random_uniform({d[1], d[2]}, rng, -1.0f, 1.0f);
+    const double t = time_per_call(min_time, [&] { Tensor::matmul(a, b); });
+    const double flops = 2.0 * static_cast<double>(d[0]) * d[1] * d[2];
+    char label[64];
+    std::snprintf(label, sizeof label, "%zux%zu * %zux%zu", d[0], d[1], d[1],
+                  d[2]);
+    std::printf("%-36s %12.3f\n", label, flops / t / 1e9);
+  }
+}
+
+// Synthetic trial: a drone-policy inference loop, the shape of the paper's
+// inference fault-injection campaigns.
+double policy_trial(Network& net, Rng& rng) {
+  Tensor obs = Tensor::random_uniform({3, 18, 32}, rng, 0.0f, 1.0f);
+  double acc = 0.0;
+  for (int step = 0; step < 4; ++step) {
+    const Tensor q = net.forward(obs);
+    acc += static_cast<double>(q[q.argmax()]);
+  }
+  return acc;
+}
+
+bool bench_campaign(std::size_t trials, std::size_t threads) {
+  std::printf("\n== run_campaign: serial vs %zu lanes (%zu trials) ==\n",
+              threads, trials);
+  // Each lane needs its own policy clone: Layer caches are per-instance.
+  // thread_local gives every pool lane an independent network.
+  Rng rng(6);
+  static Network proto = make_drone_policy(rng);
+  auto trial_fn = [](Rng& trial_rng) {
+    thread_local Network net = proto.clone();
+    return policy_trial(net, trial_rng);
+  };
+
+  CampaignConfig serial{.seed = 42, .trials = trials, .threads = 1};
+  auto t0 = Clock::now();
+  const CampaignResult r_serial = run_campaign(serial, trial_fn);
+  const double dt_serial = seconds_since(t0);
+
+  CampaignConfig parallel{.seed = 42, .trials = trials, .threads = threads};
+  t0 = Clock::now();
+  const CampaignResult r_parallel = run_campaign(parallel, trial_fn);
+  const double dt_parallel = seconds_since(t0);
+
+  const bool identical = r_serial.stats.count() == r_parallel.stats.count() &&
+                         r_serial.stats.mean() == r_parallel.stats.mean() &&
+                         r_serial.stats.variance() ==
+                             r_parallel.stats.variance() &&
+                         r_serial.stats.min() == r_parallel.stats.min() &&
+                         r_serial.stats.max() == r_parallel.stats.max();
+  std::printf("serial:   %8.0f trials/s  (%.3f s)\n",
+              static_cast<double>(trials) / dt_serial, dt_serial);
+  std::printf("parallel: %8.0f trials/s  (%.3f s)  speedup %.2fx on %u "
+              "hardware threads\n",
+              static_cast<double>(trials) / dt_parallel, dt_parallel,
+              dt_serial / dt_parallel, std::thread::hardware_concurrency());
+  std::printf("stats bit-identical to serial: %s\n",
+              identical ? "YES" : "NO  <-- BUG");
+  return identical;
+}
+
+}  // namespace
+}  // namespace frlfi
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::size_t trials = 1000;
+  std::size_t threads = 0;
+  const auto usage = [&] {
+    std::fprintf(stderr, "usage: %s [--quick] [--trials=N] [--threads=N]\n",
+                 argv[0]);
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--quick") {
+        quick = true;
+      } else if (arg.rfind("--trials=", 0) == 0) {
+        trials = static_cast<std::size_t>(std::stoul(arg.substr(9)));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        threads = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+      } else {
+        return usage();
+      }
+    } catch (const std::exception&) {  // stoul on empty/non-numeric value
+      return usage();
+    }
+  }
+  if (trials == 0) return usage();
+  if (threads == 0) threads = frlfi::resolve_thread_count(0) > 1
+                                  ? frlfi::resolve_thread_count(0)
+                                  : 4;
+  if (quick) trials = std::min<std::size_t>(trials, 50);
+  const double min_time = quick ? 0.02 : 0.25;
+
+  std::printf("frlfi kernel bench (%s mode)\n", quick ? "quick" : "full");
+  frlfi::bench_conv(min_time);
+  frlfi::bench_matmul(min_time);
+  // Nonzero exit on a determinism regression so the CI smoke run fails.
+  return frlfi::bench_campaign(trials, threads) ? 0 : 1;
+}

@@ -7,11 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/campaign.hpp"
 #include "fault/injector.hpp"
 #include "federated/aggregation.hpp"
 #include "frl/policies.hpp"
 #include "mitigation/checkpoint.hpp"
 #include "mitigation/range_detector.hpp"
+#include "nn/conv2d.hpp"
 
 namespace frlfi {
 namespace {
@@ -41,6 +43,48 @@ void BM_DronePolicyForward(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(net.forward(obs));
 }
 BENCHMARK(BM_DronePolicyForward);
+
+// Before/after pair for the im2col+GEMM tentpole: the naive 7-deep loop
+// reference vs the production forward at the first (dominant) drone conv.
+void BM_DroneConvForwardNaive(benchmark::State& state) {
+  Rng rng(7);
+  Conv2D conv(3, 6, 4, 3, 0, rng, "conv0");
+  const Tensor obs({3, 18, 32}, 0.3f);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward_naive(obs));
+}
+BENCHMARK(BM_DroneConvForwardNaive);
+
+void BM_DroneConvForwardGemm(benchmark::State& state) {
+  Rng rng(7);
+  Conv2D conv(3, 6, 4, 3, 0, rng, "conv0");
+  const Tensor obs({3, 18, 32}, 0.3f);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(obs));
+}
+BENCHMARK(BM_DroneConvForwardGemm);
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(8);
+  const Tensor a = Tensor::random_uniform({n, n}, rng, -1.0f, 1.0f);
+  const Tensor b = Tensor::random_uniform({n, n}, rng, -1.0f, 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(Tensor::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulBlocked)->Arg(64)->Arg(128);
+
+void BM_CampaignSerialVsParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  CampaignConfig cfg{.seed = 42, .trials = 200, .threads = threads};
+  auto trial = [](Rng& rng) {
+    double acc = 0.0;
+    for (int i = 0; i < 2000; ++i) acc += rng.uniform();
+    return acc;
+  };
+  for (auto _ : state) benchmark::DoNotOptimize(run_campaign(cfg, trial));
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_CampaignSerialVsParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_InjectInt8(benchmark::State& state) {
   std::vector<float> weights(static_cast<std::size_t>(state.range(0)), 0.5f);

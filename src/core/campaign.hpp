@@ -4,7 +4,12 @@
 /// Repeated-trial campaign runner: the outer loop of every fault-injection
 /// experiment. Each trial receives an independent RNG stream derived from
 /// the campaign seed and its trial index, so campaigns are reproducible and
-/// trials are exchangeable.
+/// trials are exchangeable — which also makes them embarrassingly parallel.
+///
+/// The parallel runner farms trials across a fixed thread pool and then
+/// folds the per-trial metrics into RunningStats in trial order, so a
+/// parallel campaign produces bit-identical results to a serial one for
+/// the same (seed, trials) regardless of thread count or scheduling.
 
 #include <cstdint>
 #include <functional>
@@ -20,6 +25,11 @@ struct CampaignConfig {
   std::uint64_t seed = 42;
   /// Number of trials actually run (already scaled by the caller).
   std::size_t trials = 1;
+  /// Worker lanes for trial execution. 1 (default) runs strictly serial on
+  /// the calling thread; 0 resolves via FRLFI_NUM_THREADS / hardware
+  /// concurrency; any other value is used as-is. With more than one lane
+  /// `trial_fn` is invoked concurrently and must not mutate shared state.
+  std::size_t threads = 1;
 };
 
 /// Result summary of a campaign: streaming stats over the per-trial metric.
@@ -31,6 +41,8 @@ struct CampaignResult {
 
 /// Run `cfg.trials` independent trials of `trial_fn`, which maps a
 /// per-trial RNG to a scalar metric (success rate, flight distance, ...).
+/// Parallel runs (cfg.threads != 1) reproduce the serial stats
+/// bit-for-bit; see the file comment.
 CampaignResult run_campaign(const CampaignConfig& cfg,
                             const std::function<double(Rng&)>& trial_fn);
 

@@ -1,0 +1,121 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+// Lane `lane` of `parts` gets a contiguous range of [0, n): the first
+// n % parts lanes take one extra element.
+void lane_range(std::size_t n, std::size_t parts, std::size_t lane,
+                std::size_t& begin, std::size_t& end) {
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  begin = lane * base + std::min(lane, rem);
+  end = begin + base + (lane < rem ? 1 : 0);
+}
+
+}  // namespace
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FRLFI_NUM_THREADS")) {
+    char* tail = nullptr;
+    const unsigned long v = std::strtoul(env, &tail, 10);
+    if (tail != env && *tail == '\0' && v > 0)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : lanes_(resolve_thread_count(threads)) {
+  workers_.reserve(lanes_ - 1);
+  for (std::size_t lane = 1; lane < lanes_; ++lane)
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_lane(std::size_t lane) {
+  if (lane < job_parts_) {
+    std::size_t begin, end;
+    lane_range(job_n_, job_parts_, lane, begin, end);
+    try {
+      (*body_)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t lane) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    // body_/job_* are stable for the whole generation: the dispatcher only
+    // rewrites them after remaining_ hits zero.
+    run_lane(lane);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  FRLFI_CHECK(static_cast<bool>(body));
+  if (n == 0) return;
+  const std::size_t parts = std::min(n, lanes_);
+  if (parts <= 1) {
+    body(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    job_n_ = n;
+    job_parts_ = parts;
+    remaining_ = workers_.size();
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  run_lane(0);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      lk.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+}  // namespace frlfi

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file parallel.hpp
+/// A small fixed thread pool and a blocking parallel_for, sized for the
+/// campaign runner: thousands of independent trials farmed across a handful
+/// of worker threads, with the caller participating as lane 0.
+///
+/// Thread count resolution (resolve_thread_count): an explicit request wins;
+/// otherwise the FRLFI_NUM_THREADS environment variable; otherwise
+/// std::thread::hardware_concurrency().
+///
+/// The pool is deliberately minimal: one dispatcher at a time (parallel_for
+/// is not re-entrant and must not be called from two threads at once), and
+/// static contiguous partitioning — the right shape for exchangeable trials
+/// whose cost is roughly uniform. Exceptions thrown by the body are
+/// captured and the first one is rethrown on the dispatching thread after
+/// every lane has finished.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace frlfi {
+
+/// Resolve an effective worker-lane count. `requested` > 0 is taken as-is;
+/// 0 consults FRLFI_NUM_THREADS, then hardware_concurrency(), floored at 1.
+std::size_t resolve_thread_count(std::size_t requested = 0);
+
+/// Fixed-size thread pool executing blocking parallel_for dispatches.
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` lanes (0 = resolve_thread_count()). The
+  /// calling thread of parallel_for counts as one lane, so a pool of size
+  /// T spawns T-1 worker threads.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (including the dispatching thread).
+  std::size_t size() const { return lanes_; }
+
+  /// Run body(begin, end) over a static partition of [0, n) across the
+  /// lanes and block until every lane is done. The body must be safe to
+  /// call concurrently on disjoint ranges. Rethrows the first exception.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Process-wide shared pool, sized by resolve_thread_count() on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t lane);
+  void run_lane(std::size_t lane);
+
+  std::size_t lanes_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  // Current job (valid while remaining_ > 0).
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_parts_ = 0;
+  std::size_t remaining_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace frlfi

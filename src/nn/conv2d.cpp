@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "tensor/gemm.hpp"
 
 namespace frlfi {
 
@@ -32,10 +33,78 @@ std::size_t Conv2D::out_extent(std::size_t in_extent) const {
   return (in_extent + 2 * pad_ - k_) / stride_ + 1;
 }
 
+ConvShape Conv2D::shape_for(const Tensor& input) const {
+  return ConvShape{in_c_, input.dim(1), input.dim(2), k_, stride_, pad_};
+}
+
+void Conv2D::check_grad_shape(const Tensor& grad_output, std::size_t oh,
+                              std::size_t ow) const {
+  FRLFI_CHECK_MSG(grad_output.rank() == 3 && grad_output.dim(0) == out_c_ &&
+                      grad_output.dim(1) == oh && grad_output.dim(2) == ow,
+                  label_ << ": bad grad shape " << grad_output.shape_string());
+}
+
 Tensor Conv2D::forward(const Tensor& input) {
   FRLFI_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_c_,
                   label_ << ": bad input shape " << input.shape_string());
   cached_input_ = input;
+  const ConvShape s = shape_for(input);
+  out_extent(s.h);  // validates extent >= kernel with the layer's message
+  out_extent(s.w);
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const std::size_t rows = s.rows(), ncols = s.cols();
+  cols_.resize(rows * ncols);
+  im2col(input.data().data(), s, cols_.data());
+  cols_fresh_ = true;
+  Tensor out({out_c_, oh, ow});
+  // Bias-seeded fused GEMM: the per-element accumulation chain (bias first,
+  // taps in increasing order) matches forward_naive exactly, so the two
+  // paths agree bit-for-bit on wide outputs.
+  gemm_bias_rows(weight_.value.data().data(), cols_.data(),
+                 bias_.value.data().data(), out.data().data(), out_c_, rows,
+                 ncols);
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  FRLFI_CHECK_MSG(!cached_input_.empty(), label_ << ": backward before forward");
+  const ConvShape s = shape_for(cached_input_);
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  check_grad_shape(grad_output, oh, ow);
+  const std::size_t rows = s.rows(), ncols = s.cols();
+  // Reuse the patch matrix left by forward(); recompute only when the last
+  // forward ran the naive path (or a clone dropped the workspace).
+  if (!cols_fresh_ || cols_.size() != rows * ncols) {
+    cols_.resize(rows * ncols);
+    im2col(cached_input_.data().data(), s, cols_.data());
+    cols_fresh_ = true;
+  }
+  const auto& g = grad_output.data();
+  // Bias gradient: row sums of the output gradient.
+  for (std::size_t oc = 0; oc < out_c_; ++oc) {
+    float acc = 0.0f;
+    const float* grow = &g[oc * ncols];
+    for (std::size_t j = 0; j < ncols; ++j) acc += grow[j];
+    bias_.grad[oc] += acc;
+  }
+  // Weight gradient: dW (out_c x rows) += G (out_c x ncols) · colsᵀ.
+  gemm_nt_accumulate(g.data(), cols_.data(), weight_.grad.data().data(),
+                     out_c_, ncols, rows);
+  // Input gradient in patch space: gcols (rows x ncols) = Wᵀ · G, then
+  // scatter back onto the image with col2im.
+  gcols_.resize(rows * ncols);
+  gemm_tn(weight_.value.data().data(), g.data(), gcols_.data(), rows, out_c_,
+          ncols);
+  Tensor grad_input(cached_input_.shape());
+  col2im_accumulate(gcols_.data(), s, grad_input.data().data());
+  return grad_input;
+}
+
+Tensor Conv2D::forward_naive(const Tensor& input) {
+  FRLFI_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_c_,
+                  label_ << ": bad input shape " << input.shape_string());
+  cached_input_ = input;
+  cols_fresh_ = false;
   const std::size_t h = input.dim(1), w = input.dim(2);
   const std::size_t oh = out_extent(h), ow = out_extent(w);
   Tensor out({out_c_, oh, ow});
@@ -69,13 +138,11 @@ Tensor Conv2D::forward(const Tensor& input) {
   return out;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_output) {
+Tensor Conv2D::backward_naive(const Tensor& grad_output) {
   FRLFI_CHECK_MSG(!cached_input_.empty(), label_ << ": backward before forward");
   const std::size_t h = cached_input_.dim(1), w = cached_input_.dim(2);
   const std::size_t oh = out_extent(h), ow = out_extent(w);
-  FRLFI_CHECK_MSG(grad_output.rank() == 3 && grad_output.dim(0) == out_c_ &&
-                      grad_output.dim(1) == oh && grad_output.dim(2) == ow,
-                  label_ << ": bad grad shape " << grad_output.shape_string());
+  check_grad_shape(grad_output, oh, ow);
   Tensor grad_input(cached_input_.shape());
   const auto& x = cached_input_.data();
   const auto& wt = weight_.value.data();
@@ -123,6 +190,9 @@ std::string Conv2D::name() const {
 std::unique_ptr<Layer> Conv2D::clone() const {
   auto copy = std::make_unique<Conv2D>(*this);
   copy->cached_input_ = Tensor();
+  copy->cols_.clear();
+  copy->gcols_.clear();
+  copy->cols_fresh_ = false;
   return copy;
 }
 

@@ -3,7 +3,20 @@
 /// \file conv2d.hpp
 /// 2-D convolution over CHW single-sample tensors — the building block of
 /// the DroneNav perception policy (3 Conv layers in the paper).
+///
+/// forward()/backward() run on an im2col + blocked-GEMM path with reusable
+/// per-layer scratch workspaces (no allocations in the steady state). The
+/// original 7-deep loop nest is retained as forward_naive()/backward_naive()
+/// as the golden reference for equivalence tests and before/after benches.
+/// The GEMM forward is bit-identical to the naive forward (bias-seeded
+/// accumulation in the same tap order, padding taps contributing exact
+/// zeros) whenever the output has >= 8 spatial positions; tiny outputs use
+/// gemm's packed narrow kernel and the GEMM backward vectorizes its
+/// reductions, so those may differ from the reference in the last ulps.
 
+#include <vector>
+
+#include "nn/im2col.hpp"
 #include "nn/layer.hpp"
 
 namespace frlfi {
@@ -24,6 +37,14 @@ class Conv2D final : public Layer {
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
+  /// Reference forward: the direct 7-deep loop nest. Same contract and
+  /// caching behavior as forward(); kept for golden tests and benches.
+  Tensor forward_naive(const Tensor& input);
+
+  /// Reference backward matching forward_naive. Accumulates parameter
+  /// gradients and returns the input gradient, like backward().
+  Tensor backward_naive(const Tensor& grad_output);
+
   /// Output spatial size for an input spatial size.
   std::size_t out_extent(std::size_t in_extent) const;
 
@@ -34,10 +55,19 @@ class Conv2D final : public Layer {
   Parameter& bias() { return bias_; }
 
  private:
+  ConvShape shape_for(const Tensor& input) const;
+  void check_grad_shape(const Tensor& grad_output, std::size_t oh,
+                        std::size_t ow) const;
+
   std::size_t in_c_, out_c_, k_, stride_, pad_;
   Parameter weight_;  // (out_c, in_c, k, k)
   Parameter bias_;    // (out_c)
   Tensor cached_input_;
+  // Scratch workspaces for the im2col/GEMM path, reused across calls so the
+  // hot loop performs no allocations once warmed up.
+  std::vector<float> cols_;   // im2col patch matrix, rows() x cols()
+  std::vector<float> gcols_;  // patch-space input gradient, same extents
+  bool cols_fresh_ = false;   // cols_ matches cached_input_ (set by forward)
   std::string label_;
 };
 

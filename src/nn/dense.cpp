@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "tensor/gemm.hpp"
 
 namespace frlfi {
 
@@ -23,14 +24,8 @@ Tensor Dense::forward(const Tensor& input) {
                                               << " != " << in_);
   cached_input_ = input.reshaped({in_});
   Tensor out({out_});
-  const auto& w = weight_.value.data();
-  const auto& x = cached_input_.data();
-  for (std::size_t o = 0; o < out_; ++o) {
-    float acc = bias_.value[o];
-    const float* wrow = &w[o * in_];
-    for (std::size_t i = 0; i < in_; ++i) acc += wrow[i] * x[i];
-    out[o] = acc;
-  }
+  gemv_bias(weight_.value.data().data(), cached_input_.data().data(),
+            bias_.value.data().data(), out.data().data(), out_, in_);
   return out;
 }
 
@@ -38,19 +33,14 @@ Tensor Dense::backward(const Tensor& grad_output) {
   FRLFI_CHECK_MSG(grad_output.size() == out_, label_ << ": grad size mismatch");
   FRLFI_CHECK_MSG(!cached_input_.empty(), label_ << ": backward before forward");
   Tensor grad_input({in_});
-  const auto& w = weight_.value.data();
-  const auto& x = cached_input_.data();
-  auto& gw = weight_.grad.data();
-  for (std::size_t o = 0; o < out_; ++o) {
-    const float g = grad_output[o];
-    bias_.grad[o] += g;
-    const float* wrow = &w[o * in_];
-    float* gwrow = &gw[o * in_];
-    for (std::size_t i = 0; i < in_; ++i) {
-      gwrow[i] += g * x[i];
-      grad_input[i] += g * wrow[i];
-    }
-  }
+  const auto& g = grad_output.data();
+  for (std::size_t o = 0; o < out_; ++o) bias_.grad[o] += g[o];
+  // dW += g · xᵀ (rank-1 GEMM-accumulate); dx += Wᵀ · g. Both kernels keep
+  // the reference accumulation order, so results match the old loops.
+  ger_accumulate(g.data(), cached_input_.data().data(),
+                 weight_.grad.data().data(), out_, in_);
+  gemv_t_accumulate(weight_.value.data().data(), g.data(),
+                    grad_input.data().data(), out_, in_);
   return grad_input;
 }
 

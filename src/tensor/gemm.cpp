@@ -1,0 +1,250 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace frlfi {
+namespace {
+
+// Block sizes sized for typical L1/L2: a kBlockK x kBlockJ panel of B
+// (~256 KiB upper bound at floats) plus a kBlockI x kBlockK panel of A.
+// The policy-network matrices here are small enough to fit in one block;
+// the blocking exists so campaign-scale batched shapes keep streaming.
+constexpr std::size_t kBlockI = 64;
+constexpr std::size_t kBlockK = 256;
+constexpr std::size_t kBlockJ = 512;
+
+// Narrow-output kernel for n < kNarrowN: with only a few columns the
+// saxpy form degenerates to scalar loop overhead, so pack Bᵀ (n rows of k
+// contiguous floats, rebuilt in a reused thread-local scratch) and compute
+// each output as a SIMD dot product. The `reduction` vectorizes the k-chain
+// as a tree, so this path may differ from the reference order in the last
+// ulps — the one place gemm/gemm_accumulate trades exact ordering for
+// throughput (see the header contract).
+constexpr std::size_t kNarrowN = 8;
+
+inline void accumulate_narrow(const float* FRLFI_RESTRICT a,
+                              const float* FRLFI_RESTRICT b,
+                              float* FRLFI_RESTRICT c, std::size_t m,
+                              std::size_t k, std::size_t n) {
+  thread_local std::vector<float> scratch;
+  scratch.resize(n * k);
+  float* FRLFI_RESTRICT bt = scratch.data();
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t j = 0; j < n; ++j) bt[j * k + p] = b[p * n + j];
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* FRLFI_RESTRICT arow = a + i * k;
+    float* FRLFI_RESTRICT crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* FRLFI_RESTRICT brow = bt + j * k;
+      float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+// Wide-output kernel: six accumulator rows share every load of the b-row,
+// streamed across j under `omp simd`. GCC vectorizes the j loop without
+// reassociating the per-element k-chain, so for each c[i][j] the reduction
+// runs in strictly increasing p order — bit-identical to the naive loops.
+inline void saxpy_rows6(const float* FRLFI_RESTRICT a,
+                        const float* FRLFI_RESTRICT b, float* FRLFI_RESTRICT c,
+                        std::size_t i0, std::size_t imax, std::size_t p0,
+                        std::size_t pmax, std::size_t j0, std::size_t jlen,
+                        std::size_t k, std::size_t n) {
+  std::size_t i = i0;
+  for (; i + 6 <= imax; i += 6) {
+    const float* FRLFI_RESTRICT a0 = a + (i + 0) * k;
+    const float* FRLFI_RESTRICT a1 = a + (i + 1) * k;
+    const float* FRLFI_RESTRICT a2 = a + (i + 2) * k;
+    const float* FRLFI_RESTRICT a3 = a + (i + 3) * k;
+    const float* FRLFI_RESTRICT a4 = a + (i + 4) * k;
+    const float* FRLFI_RESTRICT a5 = a + (i + 5) * k;
+    float* FRLFI_RESTRICT c0 = c + (i + 0) * n + j0;
+    float* FRLFI_RESTRICT c1 = c + (i + 1) * n + j0;
+    float* FRLFI_RESTRICT c2 = c + (i + 2) * n + j0;
+    float* FRLFI_RESTRICT c3 = c + (i + 3) * n + j0;
+    float* FRLFI_RESTRICT c4 = c + (i + 4) * n + j0;
+    float* FRLFI_RESTRICT c5 = c + (i + 5) * n + j0;
+    for (std::size_t p = p0; p < pmax; ++p) {
+      const float av0 = a0[p], av1 = a1[p], av2 = a2[p];
+      const float av3 = a3[p], av4 = a4[p], av5 = a5[p];
+      const float* FRLFI_RESTRICT brow = b + p * n + j0;
+#pragma omp simd
+      for (std::size_t j = 0; j < jlen; ++j) {
+        const float bv = brow[j];
+        c0[j] += av0 * bv;
+        c1[j] += av1 * bv;
+        c2[j] += av2 * bv;
+        c3[j] += av3 * bv;
+        c4[j] += av4 * bv;
+        c5[j] += av5 * bv;
+      }
+    }
+  }
+  for (; i < imax; ++i) {
+    float* FRLFI_RESTRICT crow = c + i * n + j0;
+    const float* FRLFI_RESTRICT arow = a + i * k;
+    for (std::size_t p = p0; p < pmax; ++p) {
+      const float av = arow[p];
+      const float* FRLFI_RESTRICT brow = b + p * n + j0;
+#pragma omp simd
+      for (std::size_t j = 0; j < jlen; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+inline void accumulate_blocked_from(const float* FRLFI_RESTRICT a,
+                                    const float* FRLFI_RESTRICT b,
+                                    float* FRLFI_RESTRICT c, std::size_t m,
+                                    std::size_t k, std::size_t n,
+                                    std::size_t p_begin) {
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
+    const std::size_t imax = std::min(i0 + kBlockI, m);
+    for (std::size_t p0 = p_begin; p0 < k; p0 += kBlockK) {
+      const std::size_t pmax = std::min(p0 + kBlockK, k);
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlockJ) {
+        const std::size_t jlen = std::min(j0 + kBlockJ, n) - j0;
+        saxpy_rows6(a, b, c, i0, imax, p0, pmax, j0, jlen, k, n);
+      }
+    }
+  }
+}
+
+inline void accumulate_blocked(const float* FRLFI_RESTRICT a,
+                               const float* FRLFI_RESTRICT b,
+                               float* FRLFI_RESTRICT c, std::size_t m,
+                               std::size_t k, std::size_t n) {
+  if (n < kNarrowN) {
+    accumulate_narrow(a, b, c, m, k, n);
+    return;
+  }
+  accumulate_blocked_from(a, b, c, m, k, n, 0);
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n) {
+  std::memset(c, 0, m * n * sizeof(float));
+  accumulate_blocked(a, b, c, m, k, n);
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n) {
+  accumulate_blocked(a, b, c, m, k, n);
+}
+
+void gemm_bias_rows(const float* a, const float* b, const float* bias,
+                    float* c, std::size_t m, std::size_t k, std::size_t n) {
+  if (n < kNarrowN) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float bi = bias[i];
+      float* FRLFI_RESTRICT crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] = bi;
+    }
+    accumulate_narrow(a, b, c, m, k, n);
+    return;
+  }
+  // Seed with the p = 0 term fused onto the bias (one write pass instead of
+  // a bias fill followed by a read-modify-write), then accumulate the rest.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float bi = bias[i];
+    const float av = a[i * k];
+    const float* FRLFI_RESTRICT brow = b;
+    float* FRLFI_RESTRICT crow = c + i * n;
+#pragma omp simd
+    for (std::size_t j = 0; j < n; ++j) crow[j] = bi + av * brow[j];
+  }
+  if (k > 1) accumulate_blocked_from(a, b, c, m, k, n, 1);
+}
+
+void gemm_nt_accumulate(const float* a, const float* b, float* c,
+                        std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* FRLFI_RESTRICT arow = a + i * k;
+    float* FRLFI_RESTRICT crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* FRLFI_RESTRICT brow = b + j * k;
+      float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n) {
+  std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* FRLFI_RESTRICT arow = a + p * m;
+    const float* FRLFI_RESTRICT brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* FRLFI_RESTRICT crow = c + i * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_zero_skip_accumulate(const float* a, const float* b, float* c,
+                               std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* FRLFI_RESTRICT arow = a + i * k;
+    float* FRLFI_RESTRICT crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* FRLFI_RESTRICT brow = b + p * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemv(const float* w, const float* x, float* y, std::size_t m,
+          std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* FRLFI_RESTRICT wrow = w + i * n;
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < n; ++j) acc += wrow[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void gemv_bias(const float* w, const float* x, const float* bias, float* y,
+               std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* FRLFI_RESTRICT wrow = w + i * n;
+    float acc = bias[i];
+    for (std::size_t j = 0; j < n; ++j) acc += wrow[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void gemv_t_accumulate(const float* w, const float* g, float* y, std::size_t m,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float gi = g[i];
+    const float* FRLFI_RESTRICT wrow = w + i * n;
+#pragma omp simd
+    for (std::size_t j = 0; j < n; ++j) y[j] += gi * wrow[j];
+  }
+}
+
+void ger_accumulate(const float* g, const float* x, float* a, std::size_t m,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float gi = g[i];
+    float* FRLFI_RESTRICT arow = a + i * n;
+#pragma omp simd
+    for (std::size_t j = 0; j < n; ++j) arow[j] += gi * x[j];
+  }
+}
+
+}  // namespace frlfi

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Cache-blocked row-major float GEMM/GEMV kernels: the compute substrate
+/// under `Tensor::matmul`, `Dense`, and the im2col path of `Conv2D`.
+///
+/// All kernels take raw pointers into row-major storage and make two
+/// ordering guarantees that the rest of the library leans on:
+///  * for each output element, the k-reduction of the `*_accumulate` /
+///    `gemm` / `gemv` kernels runs in strictly increasing k order, so the
+///    GEMM-backed layer paths are bit-identical to the naive reference
+///    loops they replaced (padding contributes exact +0.0f terms);
+///  * blocking never reorders that per-element chain, only the traversal
+///    of independent output elements.
+/// Two deliberate exceptions trade exact ordering for throughput (always
+/// deterministic for a given shape, just not reference-ordered):
+///  * gemm/gemm_accumulate with n < 8 switch to a packed SIMD dot-product
+///    kernel (the saxpy form degenerates to scalar loop overhead there);
+///  * the transposed kernels (`gemm_nt_accumulate`, `gemm_tn`) use SIMD
+///    reductions.
+
+#include <cstddef>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FRLFI_RESTRICT __restrict__
+#else
+#define FRLFI_RESTRICT
+#endif
+
+namespace frlfi {
+
+/// C (m x n) = A (m x k) · B (k x n). C is overwritten.
+void gemm(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n);
+
+/// C (m x n) += A (m x k) · B (k x n). Fused accumulate form used by the
+/// backward passes so gradient buffers never need a temporary.
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n);
+
+/// C (m x n) = row-bias + A·B: c[i][j] = bias[i] + sum_p a[i][p]·b[p][j],
+/// the accumulator seeded from bias[i] before the k-chain — the exact
+/// summation order of the naive convolution loops. C is overwritten.
+/// Fused form used by Conv2D::forward (k must be >= 1).
+void gemm_bias_rows(const float* a, const float* b, const float* bias,
+                    float* c, std::size_t m, std::size_t k, std::size_t n);
+
+/// C (m x n) += A (m x k) · Bᵀ where B is stored (n x k). Both operand
+/// rows are contiguous, so the k-reduction vectorizes as a dot product.
+void gemm_nt_accumulate(const float* a, const float* b, float* c,
+                        std::size_t m, std::size_t k, std::size_t n);
+
+/// C (m x n) = Aᵀ · B where A is stored (k x m) and B is (k x n).
+void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
+             std::size_t k, std::size_t n);
+
+/// C (m x n) += A (m x k) · B (k x n), skipping zero elements of A.
+/// Only worth it when A is mostly zeros — e.g. weight matrices after the
+/// fault-masking mitigation has suppressed anomalous values. The dense
+/// kernels above are faster in the common (dense) case.
+void gemm_zero_skip_accumulate(const float* a, const float* b, float* c,
+                               std::size_t m, std::size_t k, std::size_t n);
+
+/// y (m) = W (m x n) · x (n). y is overwritten.
+void gemv(const float* w, const float* x, float* y, std::size_t m,
+          std::size_t n);
+
+/// y (m) = bias (m) + W (m x n) · x (n), with the accumulator seeded from
+/// bias[i] before the dot product — the exact summation order of the naive
+/// Dense/Conv forward loops, kept for bit-reproducibility.
+void gemv_bias(const float* w, const float* x, const float* bias, float* y,
+               std::size_t m, std::size_t n);
+
+/// y (n) += Wᵀ · g where W is stored (m x n) and g is (m). Row-major
+/// friendly form of the Dense input-gradient product.
+void gemv_t_accumulate(const float* w, const float* g, float* y, std::size_t m,
+                       std::size_t n);
+
+/// A (m x n) += g (m) · xᵀ (n): rank-1 update for Dense weight gradients.
+void ger_accumulate(const float* g, const float* x, float* a, std::size_t m,
+                    std::size_t n);
+
+}  // namespace frlfi

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "tensor/gemm.hpp"
 
 namespace frlfi {
 namespace {
@@ -177,15 +178,10 @@ Tensor Tensor::matmul(const Tensor& a, const Tensor& b) {
                                                              << " vs " << b.dim(0));
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = a.data_[i * k + p];
-      if (av == 0.0f) continue;
-      const float* brow = &b.data_[p * n];
-      float* crow = &c.data_[i * n];
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Dense blocked kernel: no per-element zero test — that branch pessimized
+  // the common dense case. Fault-masked (mostly-zero) matrices can opt into
+  // gemm_zero_skip_accumulate directly.
+  gemm(a.data_.data(), b.data_.data(), c.data_.data(), m, k, n);
   return c;
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/error.hpp"
 
 namespace frlfi {
@@ -65,6 +67,76 @@ TEST(Campaign, RejectsInvalidConfig) {
   EXPECT_THROW(run_campaign(cfg, [](Rng&) { return 0.0; }), Error);
   cfg.trials = 1;
   EXPECT_THROW(run_campaign(cfg, std::function<double(Rng&)>()), Error);
+}
+
+// A trial function with enough arithmetic that any reduction-order bug
+// would show up in the low bits of the stats.
+double synthetic_trial(Rng& rng) {
+  double acc = 0.0;
+  for (int i = 0; i < 50; ++i) acc += rng.uniform() * 1e-3 + rng.normal() * 1e-6;
+  return acc;
+}
+
+void expect_bit_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.stats.count(), b.stats.count());
+  // EXPECT_DOUBLE_EQ-style exact comparison: the parallel reduction is
+  // required to be bit-identical, not merely close.
+  EXPECT_EQ(a.stats.mean(), b.stats.mean());
+  EXPECT_EQ(a.stats.variance(), b.stats.variance());
+  EXPECT_EQ(a.stats.min(), b.stats.min());
+  EXPECT_EQ(a.stats.max(), b.stats.max());
+}
+
+TEST(Campaign, ParallelBitIdenticalToSerialAcrossThreadCounts) {
+  for (const std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+    CampaignConfig serial{.seed = seed, .trials = 257, .threads = 1};
+    const CampaignResult want = run_campaign(serial, synthetic_trial);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{3},
+                                      std::size_t{4}, std::size_t{8}}) {
+      CampaignConfig parallel = serial;
+      parallel.threads = threads;
+      expect_bit_identical(run_campaign(parallel, synthetic_trial), want);
+    }
+  }
+}
+
+TEST(Campaign, ParallelFewerTrialsThanThreads) {
+  CampaignConfig serial{.seed = 7, .trials = 3, .threads = 1};
+  CampaignConfig parallel{.seed = 7, .trials = 3, .threads = 16};
+  expect_bit_identical(run_campaign(parallel, synthetic_trial),
+                       run_campaign(serial, synthetic_trial));
+}
+
+TEST(Campaign, ParallelSingleTrial) {
+  CampaignConfig serial{.seed = 9, .trials = 1, .threads = 1};
+  CampaignConfig parallel{.seed = 9, .trials = 1, .threads = 4};
+  expect_bit_identical(run_campaign(parallel, synthetic_trial),
+                       run_campaign(serial, synthetic_trial));
+}
+
+TEST(Campaign, ParallelZeroTrialsStillRejected) {
+  CampaignConfig cfg{.seed = 1, .trials = 0, .threads = 4};
+  EXPECT_THROW(run_campaign(cfg, [](Rng&) { return 0.0; }), Error);
+}
+
+TEST(Campaign, AutoThreadsHonorsEnvKnob) {
+  setenv("FRLFI_NUM_THREADS", "3", 1);
+  CampaignConfig serial{.seed = 5, .trials = 40, .threads = 1};
+  CampaignConfig auto_threads{.seed = 5, .trials = 40, .threads = 0};
+  expect_bit_identical(run_campaign(auto_threads, synthetic_trial),
+                       run_campaign(serial, synthetic_trial));
+  unsetenv("FRLFI_NUM_THREADS");
+}
+
+TEST(Campaign, ParallelTrialExceptionPropagates) {
+  CampaignConfig cfg{.seed = 2, .trials = 100, .threads = 4};
+  EXPECT_THROW(run_campaign(cfg,
+                            [](Rng& rng) -> double {
+                              if (rng.uniform() < 0.5)
+                                throw Error("trial blew up");
+                              return 0.0;
+                            }),
+               Error);
 }
 
 }  // namespace

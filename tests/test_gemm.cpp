@@ -1,0 +1,158 @@
+#include "tensor/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace frlfi {
+namespace {
+
+std::vector<float> random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  std::vector<float> m(rows * cols);
+  for (auto& v : m) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+// Textbook triple loop, the semantic reference for every kernel.
+std::vector<float> reference_product(const std::vector<float>& a,
+                                     const std::vector<float>& b,
+                                     std::size_t m, std::size_t k,
+                                     std::size_t n) {
+  std::vector<float> c(m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] += a[i * k + p] * b[p * n + j];
+  return c;
+}
+
+void expect_near(const std::vector<float>& got, const std::vector<float>& want,
+                 float tol = 1e-5f) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_NEAR(got[i], want[i], tol) << "element " << i;
+}
+
+TEST(Gemm, MatchesReferenceAcrossSizes) {
+  Rng rng(7);
+  // Sizes straddle the blocking thresholds (64/256/512) in both directions.
+  const std::size_t cases[][3] = {{1, 1, 1},   {3, 5, 7},    {17, 33, 9},
+                                  {64, 64, 64}, {65, 257, 513}, {2, 300, 600}};
+  for (const auto& c : cases) {
+    const std::size_t m = c[0], k = c[1], n = c[2];
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> got(m * n, 42.0f);  // gemm must overwrite
+    gemm(a.data(), b.data(), got.data(), m, k, n);
+    expect_near(got, reference_product(a, b, m, k, n));
+  }
+}
+
+TEST(Gemm, AccumulateAddsOnTop) {
+  Rng rng(8);
+  const std::size_t m = 6, k = 11, n = 13;
+  const auto a = random_matrix(m, k, rng);
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> c(m * n, 1.0f);
+  gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
+  auto want = reference_product(a, b, m, k, n);
+  for (auto& v : want) v += 1.0f;
+  expect_near(c, want);
+}
+
+TEST(Gemm, BiasRowsSeedsAndOverwrites) {
+  Rng rng(13);
+  // One wide case (ordered saxpy path) and one narrow case (packed dots).
+  const std::size_t cases[][3] = {{6, 48, 50}, {16, 48, 3}};
+  for (const auto& d : cases) {
+    const std::size_t m = d[0], k = d[1], n = d[2];
+    const auto a = random_matrix(m, k, rng);
+    const auto b = random_matrix(k, n, rng);
+    const auto bias = random_matrix(m, 1, rng);
+    std::vector<float> got(m * n, -9.0f);  // must be overwritten
+    gemm_bias_rows(a.data(), b.data(), bias.data(), got.data(), m, k, n);
+    auto want = reference_product(a, b, m, k, n);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) want[i * n + j] += bias[i];
+    expect_near(got, want);
+  }
+}
+
+TEST(Gemm, NtAccumulateMatchesTransposedReference) {
+  Rng rng(9);
+  const std::size_t m = 5, k = 19, n = 8;
+  const auto a = random_matrix(m, k, rng);
+  const auto bt = random_matrix(n, k, rng);  // B stored transposed (n x k)
+  std::vector<float> b(k * n);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t j = 0; j < n; ++j) b[p * n + j] = bt[j * k + p];
+  std::vector<float> c(m * n, 0.0f);
+  gemm_nt_accumulate(a.data(), bt.data(), c.data(), m, k, n);
+  expect_near(c, reference_product(a, b, m, k, n));
+}
+
+TEST(Gemm, TnMatchesTransposedReference) {
+  Rng rng(10);
+  const std::size_t m = 9, k = 7, n = 12;
+  const auto at = random_matrix(k, m, rng);  // A stored transposed (k x m)
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> a(m * k);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p) a[i * k + p] = at[p * m + i];
+  std::vector<float> c(m * n, -3.0f);  // gemm_tn overwrites
+  gemm_tn(at.data(), b.data(), c.data(), m, k, n);
+  expect_near(c, reference_product(a, b, m, k, n));
+}
+
+TEST(Gemm, ZeroSkipMatchesDenseOnSparseInput) {
+  Rng rng(11);
+  const std::size_t m = 8, k = 40, n = 10;
+  auto a = random_matrix(m, k, rng);
+  for (auto& v : a)
+    if (rng.uniform() < 0.9) v = 0.0f;  // fault-masked style sparsity
+  const auto b = random_matrix(k, n, rng);
+  std::vector<float> dense(m * n, 0.0f), sparse(m * n, 0.0f);
+  gemm_accumulate(a.data(), b.data(), dense.data(), m, k, n);
+  gemm_zero_skip_accumulate(a.data(), b.data(), sparse.data(), m, k, n);
+  expect_near(sparse, dense);
+}
+
+TEST(Gemm, GemvVariants) {
+  Rng rng(12);
+  const std::size_t m = 14, n = 23;
+  const auto w = random_matrix(m, n, rng);
+  const auto x = random_matrix(n, 1, rng);
+  const auto bias = random_matrix(m, 1, rng);
+  std::vector<float> want(m, 0.0f);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) want[i] += w[i * n + j] * x[j];
+
+  std::vector<float> y(m, 5.0f);
+  gemv(w.data(), x.data(), y.data(), m, n);
+  expect_near(y, want);
+
+  std::vector<float> yb(m, 0.0f);
+  gemv_bias(w.data(), x.data(), bias.data(), yb.data(), m, n);
+  for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(yb[i], want[i] + bias[i], 1e-5f);
+
+  // y2 += Wᵀ g
+  const auto g = random_matrix(m, 1, rng);
+  std::vector<float> y2(n, 0.5f), want2(n, 0.5f);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) want2[j] += w[i * n + j] * g[i];
+  gemv_t_accumulate(w.data(), g.data(), y2.data(), m, n);
+  expect_near(y2, want2);
+
+  // A += g xᵀ
+  std::vector<float> acc(m * n, 0.25f), want3(m * n, 0.25f);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) want3[i * n + j] += g[i] * x[j];
+  ger_accumulate(g.data(), x.data(), acc.data(), m, n);
+  expect_near(acc, want3);
+}
+
+}  // namespace
+}  // namespace frlfi

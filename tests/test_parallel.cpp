@@ -1,0 +1,122 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace frlfi {
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, RangesArePartition) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    std::lock_guard<std::mutex> lk(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::size_t total = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_LT(b, e);
+    total += e - b;
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(ranges.size(), 3u);
+}
+
+TEST(Parallel, FewerItemsThanLanes) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ZeroItemsIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  std::size_t sum = 0;  // no synchronization needed: runs on this thread
+  pool.parallel_for(100, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(Parallel, ReusableAcrossDispatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      count.fetch_add(e - b);
+    });
+    ASSERT_EQ(count.load(), 64u);
+  }
+}
+
+TEST(Parallel, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t b, std::size_t) {
+                          if (b == 0) throw std::runtime_error("lane failure");
+                        }),
+      std::runtime_error);
+  // Pool must still be usable after a failed dispatch.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 8u);
+}
+
+TEST(Parallel, RejectsEmptyBody) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, std::function<void(std::size_t, std::size_t)>()),
+      Error);
+}
+
+TEST(Parallel, ResolveThreadCountPrecedence) {
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  setenv("FRLFI_NUM_THREADS", "5", 1);
+  EXPECT_EQ(resolve_thread_count(0), 5u);
+  EXPECT_EQ(resolve_thread_count(2), 2u);  // explicit beats env
+  setenv("FRLFI_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(resolve_thread_count(0), 1u);  // malformed env -> hardware
+  unsetenv("FRLFI_NUM_THREADS");
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(Parallel, GlobalPoolIsUsable) {
+  std::atomic<std::size_t> count{0};
+  ThreadPool::global().parallel_for(16, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 16u);
+}
+
+}  // namespace
+}  // namespace frlfi
