@@ -3,8 +3,14 @@
 ///  * Conv2D forward/backward: naive 7-deep loops vs im2col + blocked GEMM
 ///    at the paper's DroneNav policy shapes (GFLOP/s and speedup),
 ///  * Tensor::matmul GFLOP/s at small/medium shapes,
+///  * batched inference: B single-sample policy forwards vs one
+///    Network::forward_batch at B in {1,4,16,64} on the drone policy,
 ///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
 ///    1000-trial campaign, with a bit-identity check on the stats.
+///
+/// Every run also emits the measurements as machine-readable JSON to
+/// BENCH_kernels.json in the working directory, so the perf trajectory is
+/// trackable across commits.
 ///
 /// Flags: --quick (CI smoke: fewer reps/trials), --threads=N (parallel lane
 /// count; default 4 or FRLFI_NUM_THREADS), --trials=N (campaign size).
@@ -20,6 +26,7 @@
 #include "core/parallel.hpp"
 #include "frl/policies.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/network.hpp"
 #include "tensor/tensor.hpp"
 
 namespace frlfi {
@@ -50,6 +57,37 @@ double time_per_call(double min_time, Fn&& fn) {
   }
 }
 
+// Measurement records feeding both the text report and BENCH_kernels.json.
+struct ConvRow {
+  std::string label;
+  double naive_gfs = 0.0, gemm_gfs = 0.0, speedup = 0.0;
+};
+struct BackwardRow {
+  std::string label;
+  double naive_ms = 0.0, gemm_ms = 0.0, speedup = 0.0;
+};
+struct MatmulRow {
+  std::string label;
+  double gfs = 0.0;
+};
+struct BatchedRow {
+  std::size_t batch = 0;
+  double single_us = 0.0, batched_us = 0.0, speedup = 0.0;
+};
+struct CampaignRow {
+  std::size_t trials = 0, threads = 0;
+  double serial_tps = 0.0, parallel_tps = 0.0;
+  bool identical = false;
+};
+struct Report {
+  bool quick = false;
+  std::vector<ConvRow> conv_forward;
+  std::vector<BackwardRow> conv_backward;
+  std::vector<MatmulRow> matmul;
+  std::vector<BatchedRow> batched;
+  CampaignRow campaign;
+};
+
 struct ConvShapeSpec {
   const char* label;
   std::size_t in_c, out_c, h, w, k, stride, pad;
@@ -72,7 +110,7 @@ double conv_forward_flops(const ConvShapeSpec& s, const Conv2D& conv) {
   return 2.0 * taps * outs;  // multiply + add per tap per output
 }
 
-void bench_conv(double min_time) {
+void bench_conv(double min_time, Report& report) {
   std::printf("\n== Conv2D forward: naive loops vs im2col+GEMM ==\n");
   std::printf("%-36s %12s %12s %8s\n", "shape", "naive GF/s", "gemm GF/s",
               "speedup");
@@ -94,6 +132,8 @@ void bench_conv(double min_time) {
       stack_naive += t_naive;
       stack_gemm += t_gemm;
     }
+    report.conv_forward.push_back(
+        {s.label, flops / t_naive / 1e9, flops / t_gemm / 1e9, speedup});
     std::printf("%-36s %12.3f %12.3f %7.2fx\n", s.label, flops / t_naive / 1e9,
                 flops / t_gemm / 1e9, speedup);
   }
@@ -117,12 +157,14 @@ void bench_conv(double min_time) {
     const double t_naive =
         time_per_call(min_time, [&] { conv.backward_naive(g); });
     const double t_gemm = time_per_call(min_time, [&] { conv.backward(g); });
+    report.conv_backward.push_back(
+        {s.label, t_naive * 1e3, t_gemm * 1e3, t_naive / t_gemm});
     std::printf("%-36s %12.4f %12.4f %7.2fx\n", s.label, t_naive * 1e3,
                 t_gemm * 1e3, t_naive / t_gemm);
   }
 }
 
-void bench_matmul(double min_time) {
+void bench_matmul(double min_time, Report& report) {
   std::printf("\n== Tensor::matmul (blocked GEMM) ==\n");
   std::printf("%-36s %12s\n", "shape", "GF/s");
   const std::size_t sizes[][3] = {
@@ -136,8 +178,106 @@ void bench_matmul(double min_time) {
     char label[64];
     std::snprintf(label, sizeof label, "%zux%zu * %zux%zu", d[0], d[1], d[1],
                   d[2]);
+    report.matmul.push_back({label, flops / t / 1e9});
     std::printf("%-36s %12.3f\n", label, flops / t / 1e9);
   }
+}
+
+// Batched-inference sweep at the drone policy shapes: B independent
+// single-sample forwards vs one rank-4 forward_batch over the same inputs.
+// Returns the B=64 speedup (the acceptance gate for the batching layer).
+double bench_batched(double min_time, Report& report) {
+  std::printf(
+      "\n== Batched inference: B single forwards vs one forward_batch ==\n");
+  std::printf("(drone policy 3-Conv + 2-FC, per-sample microseconds)\n");
+  std::printf("%-8s %14s %14s %8s\n", "batch", "single us", "batched us",
+              "speedup");
+  Rng rng(9);
+  Network net = make_drone_policy(rng);
+  double b64_speedup = 0.0;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}, std::size_t{64}}) {
+    Rng xr(10);
+    const Tensor xb =
+        Tensor::random_uniform({batch, 3, 18, 32}, xr, 0.0f, 1.0f);
+    std::vector<Tensor> samples;
+    for (std::size_t b = 0; b < batch; ++b) {
+      Tensor s({3, 18, 32});
+      std::copy_n(xb.data().begin() + static_cast<std::ptrdiff_t>(b * s.size()),
+                  s.size(), s.data().begin());
+      samples.push_back(std::move(s));
+    }
+    const double t_single = time_per_call(min_time, [&] {
+      for (const Tensor& s : samples) net.forward(s);
+    });
+    const double t_batch =
+        time_per_call(min_time, [&] { net.forward_batch(xb, batch); });
+    const double speedup = t_single / t_batch;
+    if (batch == 64) b64_speedup = speedup;
+    report.batched.push_back({batch,
+                              t_single * 1e6 / static_cast<double>(batch),
+                              t_batch * 1e6 / static_cast<double>(batch),
+                              speedup});
+    std::printf("%-8zu %14.2f %14.2f %7.2fx\n", batch,
+                t_single * 1e6 / static_cast<double>(batch),
+                t_batch * 1e6 / static_cast<double>(batch), speedup);
+  }
+  std::printf("B=64 batched speedup: %.2fx %s\n", b64_speedup,
+              b64_speedup >= 3.0 ? "(target >=3x: PASS)" : "(target >=3x)");
+  return b64_speedup;
+}
+
+// Emit the collected measurements as JSON (hand-rolled: flat schema, ASCII
+// labels only) so CI and future PRs can diff kernel performance.
+void write_json(const Report& r, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"mode\": \"%s\",\n", r.quick ? "quick" : "full");
+  std::fprintf(f, "  \"conv_forward\": [\n");
+  for (std::size_t i = 0; i < r.conv_forward.size(); ++i) {
+    const auto& row = r.conv_forward[i];
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"naive_gflops\": %.4f, "
+                 "\"gemm_gflops\": %.4f, \"speedup\": %.3f}%s\n",
+                 row.label.c_str(), row.naive_gfs, row.gemm_gfs, row.speedup,
+                 i + 1 < r.conv_forward.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"conv_backward\": [\n");
+  for (std::size_t i = 0; i < r.conv_backward.size(); ++i) {
+    const auto& row = r.conv_backward[i];
+    std::fprintf(f,
+                 "    {\"shape\": \"%s\", \"naive_ms\": %.5f, "
+                 "\"gemm_ms\": %.5f, \"speedup\": %.3f}%s\n",
+                 row.label.c_str(), row.naive_ms, row.gemm_ms, row.speedup,
+                 i + 1 < r.conv_backward.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"matmul\": [\n");
+  for (std::size_t i = 0; i < r.matmul.size(); ++i) {
+    std::fprintf(f, "    {\"shape\": \"%s\", \"gflops\": %.4f}%s\n",
+                 r.matmul[i].label.c_str(), r.matmul[i].gfs,
+                 i + 1 < r.matmul.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"batched_inference\": [\n");
+  for (std::size_t i = 0; i < r.batched.size(); ++i) {
+    const auto& row = r.batched[i];
+    std::fprintf(f,
+                 "    {\"batch\": %zu, \"single_us_per_sample\": %.4f, "
+                 "\"batched_us_per_sample\": %.4f, \"speedup\": %.3f}%s\n",
+                 row.batch, row.single_us, row.batched_us, row.speedup,
+                 i + 1 < r.batched.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"campaign\": {\"trials\": %zu, \"threads\": %zu, "
+               "\"serial_trials_per_s\": %.1f, \"parallel_trials_per_s\": "
+               "%.1f, \"bit_identical\": %s}\n}\n",
+               r.campaign.trials, r.campaign.threads, r.campaign.serial_tps,
+               r.campaign.parallel_tps,
+               r.campaign.identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
 }
 
 // Synthetic trial: a drone-policy inference loop, the shape of the paper's
@@ -152,7 +292,7 @@ double policy_trial(Network& net, Rng& rng) {
   return acc;
 }
 
-bool bench_campaign(std::size_t trials, std::size_t threads) {
+bool bench_campaign(std::size_t trials, std::size_t threads, Report& report) {
   std::printf("\n== run_campaign: serial vs %zu lanes (%zu trials) ==\n",
               threads, trials);
   // Each lane needs its own policy clone: Layer caches are per-instance.
@@ -188,6 +328,9 @@ bool bench_campaign(std::size_t trials, std::size_t threads) {
               dt_serial / dt_parallel, std::thread::hardware_concurrency());
   std::printf("stats bit-identical to serial: %s\n",
               identical ? "YES" : "NO  <-- BUG");
+  report.campaign = {trials, threads,
+                     static_cast<double>(trials) / dt_serial,
+                     static_cast<double>(trials) / dt_parallel, identical};
   return identical;
 }
 
@@ -227,8 +370,13 @@ int main(int argc, char** argv) {
   const double min_time = quick ? 0.02 : 0.25;
 
   std::printf("frlfi kernel bench (%s mode)\n", quick ? "quick" : "full");
-  frlfi::bench_conv(min_time);
-  frlfi::bench_matmul(min_time);
+  frlfi::Report report;
+  report.quick = quick;
+  frlfi::bench_conv(min_time, report);
+  frlfi::bench_matmul(min_time, report);
+  frlfi::bench_batched(min_time, report);
   // Nonzero exit on a determinism regression so the CI smoke run fails.
-  return frlfi::bench_campaign(trials, threads) ? 0 : 1;
+  const bool identical = frlfi::bench_campaign(trials, threads, report);
+  frlfi::write_json(report, "BENCH_kernels.json");
+  return identical ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "core/campaign.hpp"
 #include "fault/injector.hpp"
 #include "federated/aggregation.hpp"
@@ -43,6 +45,34 @@ void BM_DronePolicyForward(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(net.forward(obs));
 }
 BENCHMARK(BM_DronePolicyForward);
+
+// Batched inference pair: B per-sample forwards vs one rank-4
+// forward_batch over the same B observations (items = samples, so the
+// items/sec columns are directly comparable).
+void BM_DronePolicyForwardLoop(benchmark::State& state) {
+  Network& net = drone_policy();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<Tensor> obs;
+  for (std::size_t b = 0; b < batch; ++b)
+    obs.push_back(Tensor::random_uniform({3, 18, 32}, rng, 0.0f, 1.0f));
+  for (auto _ : state)
+    for (const Tensor& o : obs) benchmark::DoNotOptimize(net.forward(o));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DronePolicyForwardLoop)->Arg(16)->Arg(64);
+
+void BM_DronePolicyForwardBatch(benchmark::State& state) {
+  Network& net = drone_policy();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  const Tensor obs =
+      Tensor::random_uniform({batch, 3, 18, 32}, rng, 0.0f, 1.0f);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net.forward_batch(obs, batch));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DronePolicyForwardBatch)->Arg(16)->Arg(64);
 
 // Before/after pair for the im2col+GEMM tentpole: the naive 7-deep loop
 // reference vs the production forward at the first (dominant) drone conv.
@@ -96,17 +126,38 @@ void BM_InjectInt8(benchmark::State& state) {
 }
 BENCHMARK(BM_InjectInt8)->Arg(1540)->Arg(4131);
 
+// Before/after pair for the fixed-point injector micro-opt: the per-bit
+// flip_bit/branch loop vs the mask-based single-XOR flip. Same Bernoulli
+// stream, bit-identical outcomes (asserted in test_fault.cpp). Both sides
+// draw one Bernoulli per bit, so at low BER they are RNG-bound and tie;
+// the mask path's win shows at campaign-stress BERs (second arg is the
+// negated BER exponent: 3 -> 1e-3, 1 -> 1e-1). The shared codec-bound
+// hoist (no pow per encode) speeds both sides equally.
+void BM_InjectFixedPointReference(benchmark::State& state) {
+  std::vector<float> weights(static_cast<std::size_t>(state.range(0)), 0.5f);
+  FaultSpec spec;
+  spec.ber = std::pow(10.0, -static_cast<double>(state.range(1)));
+  Rng rng(4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(inject_fixed_point_reference(
+        weights, FixedPointFormat::q1_7_8(), spec, rng));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InjectFixedPointReference)
+    ->Args({4131, 3})
+    ->Args({4131, 1});
+
 void BM_InjectFixedPoint(benchmark::State& state) {
   std::vector<float> weights(static_cast<std::size_t>(state.range(0)), 0.5f);
   FaultSpec spec;
-  spec.ber = 1e-3;
+  spec.ber = std::pow(10.0, -static_cast<double>(state.range(1)));
   Rng rng(4);
   for (auto _ : state)
     benchmark::DoNotOptimize(
         inject_fixed_point(weights, FixedPointFormat::q1_7_8(), spec, rng));
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_InjectFixedPoint)->Arg(1540)->Arg(4131);
+BENCHMARK(BM_InjectFixedPoint)->Args({1540, 3})->Args({4131, 3})->Args({4131, 1});
 
 void BM_RangeDetectorScan(benchmark::State& state) {
   Network& net = drone_policy();

@@ -1,6 +1,7 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/error.hpp"
 #include "numeric/bitutil.hpp"
@@ -103,9 +104,50 @@ InjectionReport inject_fixed_point(std::vector<float>& weights,
   const FixedPointCodec codec(format);
   const int word_bits = format.word_bits();
   report.bits_total = weights.size() * static_cast<std::size_t>(word_bits);
+  // Resolve the model/direction once: the per-word filter is "keep only
+  // flips of currently-set bits", "only currently-clear bits", or both.
+  const bool only_set_bits =
+      spec.model == FaultModel::StuckAt0 ||
+      ((spec.model == FaultModel::TransientSingleStep ||
+        spec.model == FaultModel::TransientPersistent) &&
+       spec.direction == FlipDirection::OneToZero);
+  const bool only_clear_bits =
+      spec.model == FaultModel::StuckAt1 ||
+      ((spec.model == FaultModel::TransientSingleStep ||
+        spec.model == FaultModel::TransientPersistent) &&
+       spec.direction == FlipDirection::ZeroToOne);
   for (auto& w : weights) {
     std::uint32_t raw = codec.encode(w);
-    bool touched = false;
+    // Draw one Bernoulli per bit (the same stream the reference consumes,
+    // so results are bit-identical), collect the hits into a mask, filter
+    // it against the whole word at once, and apply a single XOR — no
+    // per-bit flip/branch chain.
+    std::uint32_t mask = 0;
+    for (int b = 0; b < word_bits; ++b)
+      if (rng.bernoulli(spec.ber)) mask |= 1u << b;
+    if (mask) {
+      if (only_set_bits) mask &= raw;
+      if (only_clear_bits) mask &= ~raw;
+      raw ^= mask;
+      report.bits_flipped += static_cast<std::size_t>(std::popcount(mask));
+    }
+    // Decode unconditionally so every weight passes through the deployed
+    // representation (quantization noise included), touched or not.
+    w = static_cast<float>(codec.decode(raw));
+  }
+  return report;
+}
+
+InjectionReport inject_fixed_point_reference(std::vector<float>& weights,
+                                             const FixedPointFormat& format,
+                                             const FaultSpec& spec, Rng& rng) {
+  InjectionReport report;
+  if (weights.empty()) return report;
+  const FixedPointCodec codec(format);
+  const int word_bits = format.word_bits();
+  report.bits_total = weights.size() * static_cast<std::size_t>(word_bits);
+  for (auto& w : weights) {
+    std::uint32_t raw = codec.encode(w);
     for (int b = 0; b < word_bits; ++b) {
       if (!rng.bernoulli(spec.ber)) continue;
       const bool current = (raw >> b) & 1u;
@@ -116,27 +158,21 @@ InjectionReport inject_fixed_point(std::vector<float>& weights,
           if (spec.direction == FlipDirection::OneToZero && !current) continue;
           raw = codec.flip_bit(raw, b);
           ++report.bits_flipped;
-          touched = true;
           break;
         case FaultModel::StuckAt0:
           if (current) {
             raw = codec.flip_bit(raw, b);
             ++report.bits_flipped;
-            touched = true;
           }
           break;
         case FaultModel::StuckAt1:
           if (!current) {
             raw = codec.flip_bit(raw, b);
             ++report.bits_flipped;
-            touched = true;
           }
           break;
       }
     }
-    // Decode unconditionally so every weight passes through the deployed
-    // representation (quantization noise included), touched or not.
-    (void)touched;
     w = static_cast<float>(codec.decode(raw));
   }
   return report;

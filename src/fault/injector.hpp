@@ -56,10 +56,20 @@ InjectionReport inject_int8(std::vector<float>& weights, const FaultSpec& spec,
                             Rng& rng, float headroom = 1.0f);
 
 /// Corrupt a float buffer through a fixed-point representation (data-type
-/// resilience study). The buffer is modified in place.
+/// resilience study). The buffer is modified in place. The per-word flip
+/// is mask-based (one XOR per word); consumes one Bernoulli draw per bit,
+/// so for a given rng state the result is bit-identical to the reference
+/// below.
 InjectionReport inject_fixed_point(std::vector<float>& weights,
                                    const FixedPointFormat& format,
                                    const FaultSpec& spec, Rng& rng);
+
+/// Reference implementation of inject_fixed_point (per-bit flip_bit calls):
+/// the golden baseline for the equivalence test and the before/after micro
+/// bench in bench_micro_overhead.cpp.
+InjectionReport inject_fixed_point_reference(std::vector<float>& weights,
+                                             const FixedPointFormat& format,
+                                             const FaultSpec& spec, Rng& rng);
 
 /// Corrupt every parameter tensor of a network in the int8 domain.
 InjectionReport inject_network_weights(Network& net, const FaultSpec& spec,

@@ -267,16 +267,32 @@ double DroneFrlSystem::evaluate_inference_fault(
   if (!trans1) apply_static_inference_fault(policy, scenario, fault_rng);
 
   double total = 0.0;
-  for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
-    Rng eval_rng = Rng(seed).split(0xE7A2 + i);
-    for (std::size_t e = 0; e < episodes_per_drone; ++e) {
-      if (trans1) {
+  if (trans1) {
+    // Trans-1 corrupts the shared weights at a per-lane random step, so
+    // lanes cannot share one forward; stays on the serial path.
+    for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
+      Rng eval_rng = Rng(seed).split(0xE7A2 + i);
+      for (std::size_t e = 0; e < episodes_per_drone; ++e) {
         greedy_episode_trans1(policy, *envs_[i], eval_rng, cfg_.env.max_steps,
                               scenario);
-      } else {
-        greedy_episode(policy, *envs_[i], eval_rng, cfg_.env.max_steps);
+        total += envs_[i]->flight_distance();
       }
-      total += envs_[i]->flight_distance();
+    }
+  } else {
+    // Static corruption: one policy serves every drone, so each decision
+    // step batches all still-flying drones' observations into a single
+    // forward. Per-lane env/rng streams are exactly the serial ones.
+    std::vector<Environment*> lanes;
+    std::vector<Rng> rngs;
+    for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
+      lanes.push_back(envs_[i].get());
+      rngs.emplace_back(Rng(seed).split(0xE7A2 + i));
+    }
+    for (std::size_t e = 0; e < episodes_per_drone; ++e) {
+      greedy_episodes_batched(policy, lanes, rngs, cfg_.env.max_steps,
+                              scenario.detector);
+      for (std::size_t i = 0; i < cfg_.n_drones; ++i)
+        total += envs_[i]->flight_distance();
     }
   }
   return total /

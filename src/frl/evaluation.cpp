@@ -1,5 +1,7 @@
 #include "frl/evaluation.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 
 namespace frlfi {
@@ -21,6 +23,85 @@ EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
     obs = std::move(r.observation);
   }
   stats.success = false;
+  return stats;
+}
+
+std::vector<EpisodeStats> greedy_episodes_batched(
+    Network& policy, const std::vector<Environment*>& envs,
+    std::vector<Rng>& rngs, std::size_t max_steps,
+    const RangeAnomalyDetector* activation_detector) {
+  const std::size_t lanes = envs.size();
+  FRLFI_CHECK_MSG(lanes >= 1 && rngs.size() == lanes && max_steps >= 1,
+                  "batched greedy: " << lanes << " envs, " << rngs.size()
+                                     << " rngs");
+  std::vector<EpisodeStats> stats(lanes);
+  std::vector<Tensor> obs(lanes);
+  std::vector<std::size_t> active;
+  active.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    obs[i] = envs[i]->reset(rngs[i]);
+    FRLFI_CHECK_MSG(obs[i].shape() == obs[0].shape(),
+                    "batched greedy: lanes disagree on observation shape");
+    active.push_back(i);
+  }
+  // Screening installs an activation hook on the shared policy; restore
+  // whatever hook the caller had at every exit (exceptions included) so a
+  // throwing env step cannot leave the suppressor attached, and a
+  // caller-installed hook survives the batched run.
+  struct HookGuard {
+    Network* net = nullptr;
+    std::function<void(std::size_t, Tensor&)> saved;
+    ~HookGuard() {
+      if (net) net->set_activation_hook(std::move(saved));
+    }
+  } hook_guard;
+  if (activation_detector != nullptr &&
+      activation_detector->has_activation_calibration()) {
+    hook_guard.saved = policy.activation_hook();
+    policy.set_activation_hook(
+        [activation_detector](std::size_t layer, Tensor& act) {
+          activation_detector->suppress_activations(layer, act);
+        });
+    hook_guard.net = &policy;
+  }
+  const std::size_t sample = obs[0].size();
+  Tensor batch;
+  for (std::size_t t = 0; t < max_steps && !active.empty(); ++t) {
+    const std::size_t nb = active.size();
+    // The lane count only shrinks as episodes finish, so most steps reuse
+    // the previous step's batch buffer unchanged.
+    if (batch.empty() || batch.dim(0) != nb) {
+      std::vector<std::size_t> bshape{nb};
+      bshape.insert(bshape.end(), obs[active[0]].shape().begin(),
+                    obs[active[0]].shape().end());
+      batch = Tensor(std::move(bshape));
+    }
+    for (std::size_t a = 0; a < nb; ++a)
+      std::copy_n(obs[active[a]].data().begin(), sample,
+                  batch.data().begin() + static_cast<std::ptrdiff_t>(a * sample));
+    const Tensor logits = policy.forward_batch(batch, nb);
+    const std::size_t width = logits.size() / nb;
+    std::vector<std::size_t> still_active;
+    still_active.reserve(nb);
+    for (std::size_t a = 0; a < nb; ++a) {
+      const std::size_t i = active[a];
+      // Row-wise argmax with the Tensor::argmax tie rule (lowest index).
+      const float* row = logits.data().data() + a * width;
+      std::size_t action = 0;
+      for (std::size_t j = 1; j < width; ++j)
+        if (row[j] > row[action]) action = j;
+      StepResult r = envs[i]->step(action, rngs[i]);
+      stats[i].total_reward += r.reward;
+      ++stats[i].steps;
+      if (r.done) {
+        stats[i].success = r.success;
+      } else {
+        obs[i] = std::move(r.observation);
+        still_active.push_back(i);
+      }
+    }
+    active = std::move(still_active);
+  }
   return stats;
 }
 

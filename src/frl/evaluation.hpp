@@ -21,6 +21,27 @@ namespace frlfi {
 EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
                             std::size_t max_steps);
 
+/// Run one greedy episode per lane over independent environments in
+/// lockstep, batching the observations of all still-active lanes into a
+/// single Network::forward_batch per decision step. Lane i consumes
+/// envs[i] and rngs[i] exactly as a serial greedy_episode(policy, *envs[i],
+/// rngs[i], max_steps) would, so per-lane results match the serial loop
+/// (bit-identical for MLP policies; conv policies with tiny layers may
+/// diverge within the batched-GEMM ulp tolerance, which can flip an argmax
+/// tie and hence a trajectory). Lanes drop out of the batch as their
+/// episodes terminate. Requires all environments to share one observation
+/// shape and one policy (weight faults must be injected beforehand).
+///
+/// When `activation_detector` is non-null and activation-calibrated, every
+/// layer's batched activations are range-screened in one pass (out-of-range
+/// elements suppressed to zero) before the next layer runs; the policy's
+/// activation hook carries the screen for the duration of the call and any
+/// caller-installed hook is restored afterwards.
+std::vector<EpisodeStats> greedy_episodes_batched(
+    Network& policy, const std::vector<Environment*>& envs,
+    std::vector<Rng>& rngs, std::size_t max_steps,
+    const RangeAnomalyDetector* activation_detector = nullptr);
+
 /// Configuration for an inference fault campaign on a deployed policy.
 ///
 /// Deployment representation: inference-time weights live in a fixed-point
@@ -44,7 +65,10 @@ struct InferenceFaultScenario {
   /// paper's Fig. 4 degradation slope and Fig. 8a 3.3x mitigation factor.
   float int8_headroom = 2.0f;
   /// When set, run range-based anomaly detection + suppression after
-  /// injection (the §V-B mitigation).
+  /// injection (the §V-B mitigation). On the batched evaluation path a
+  /// detector that has also been activation-calibrated
+  /// (RangeAnomalyDetector::calibrate_activations) additionally screens
+  /// every layer's batched activations in one pass per step.
   const RangeAnomalyDetector* detector = nullptr;
 };
 

@@ -253,22 +253,39 @@ double GridWorldFrlSystem::evaluate_inference_fault(
   if (!trans1) apply_static_inference_fault(policy, scenario, fault_rng);
 
   double total = 0.0;
-  for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
-    Rng eval_rng = Rng(seed).split(0xE7A1 + i);
-    std::size_t successes = 0;
-    for (std::size_t a = 0; a < attempts_per_agent; ++a) {
-      EpisodeStats stats;
-      if (trans1) {
-        stats = greedy_episode_trans1(policy, *envs_[i], eval_rng,
-                                      cfg_.learner.max_steps, scenario);
-      } else {
-        stats = greedy_episode(policy, *envs_[i], eval_rng,
-                               cfg_.learner.max_steps);
+  if (trans1) {
+    // Per-lane random-step weight corruption cannot share one forward.
+    for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
+      Rng eval_rng = Rng(seed).split(0xE7A1 + i);
+      std::size_t successes = 0;
+      for (std::size_t a = 0; a < attempts_per_agent; ++a) {
+        const EpisodeStats stats = greedy_episode_trans1(
+            policy, *envs_[i], eval_rng, cfg_.learner.max_steps, scenario);
+        successes += stats.success ? 1 : 0;
       }
-      successes += stats.success ? 1 : 0;
+      total += static_cast<double>(successes) /
+               static_cast<double>(attempts_per_agent);
     }
-    total += static_cast<double>(successes) /
-             static_cast<double>(attempts_per_agent);
+  } else {
+    // One consensus policy serves every agent: batch all agents' decision
+    // steps into a single forward per step. The all-Dense gridworld policy
+    // makes the batched logits bit-identical to the serial loop.
+    std::vector<Environment*> lanes;
+    std::vector<Rng> rngs;
+    for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
+      lanes.push_back(envs_[i].get());
+      rngs.emplace_back(Rng(seed).split(0xE7A1 + i));
+    }
+    std::vector<std::size_t> successes(cfg_.n_agents, 0);
+    for (std::size_t a = 0; a < attempts_per_agent; ++a) {
+      const std::vector<EpisodeStats> stats = greedy_episodes_batched(
+          policy, lanes, rngs, cfg_.learner.max_steps, scenario.detector);
+      for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+        successes[i] += stats[i].success ? 1 : 0;
+    }
+    for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+      total += static_cast<double>(successes[i]) /
+               static_cast<double>(attempts_per_agent);
   }
   return total / static_cast<double>(cfg_.n_agents);
 }

@@ -14,6 +14,14 @@ class ReLU final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Elementwise over the whole batch in one pass; bit-identical to the
+  /// per-sample path, no backward cache written.
+  Tensor forward_batch(const Tensor& input, std::size_t batch) override;
+
+  /// Same, in place on the moved-in batch-inner buffer (layout-agnostic).
+  Tensor forward_batch_inner(Tensor input, std::size_t batch) override;
+
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
@@ -29,6 +37,14 @@ class Tanh final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Elementwise over the whole batch in one pass; bit-identical to the
+  /// per-sample path, no backward cache written.
+  Tensor forward_batch(const Tensor& input, std::size_t batch) override;
+
+  /// Same, in place on the moved-in batch-inner buffer (layout-agnostic).
+  Tensor forward_batch_inner(Tensor input, std::size_t batch) override;
+
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
 
@@ -44,5 +60,11 @@ Tensor softmax(const Tensor& logits);
 
 /// log(softmax(logits)[index]) computed stably.
 float log_softmax_at(const Tensor& logits, std::size_t index);
+
+/// Row-wise softmax over a batched (batch x features) logits tensor: row b
+/// of the result is softmax() of row b, computed with the identical
+/// max/exp/normalize sequence so batched rows are bit-identical to the
+/// single-sample helper.
+Tensor softmax_batch(const Tensor& logits, std::size_t batch);
 
 }  // namespace frlfi

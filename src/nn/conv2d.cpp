@@ -1,5 +1,6 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -7,6 +8,125 @@
 #include "tensor/gemm.hpp"
 
 namespace frlfi {
+namespace {
+
+// One valid kernel tap for a fixed output row oy: weight index, the
+// x pointer at (ic, iy, 0), the (possibly negative) kx - pad column
+// offset so the ox'th output reads row + (ox*stride + off)*B, and the ox
+// range where that read stays in bounds.
+struct ConvTap {
+  std::size_t r;
+  const float* row;
+  std::ptrdiff_t off;
+  std::size_t ox_lo, ox_hi;
+};
+
+// Direct batch-inner convolution kernel: x is (in_c, h, w, B), y is
+// (out_c, oh, ow, B) — no im2col, no patch matrix. For each output
+// (oc, oy, ox) the batch is processed in fixed 16-float chunks whose
+// accumulator lives in registers across the whole tap loop, so y is
+// written exactly once and each tap costs one x-vector load plus one
+// mul/add — instead of a load+store of y per tap. Per output element the
+// accumulation runs bias-first then taps in increasing (ic, ky, kx)
+// order, the same chain as the per-sample GEMM forward, so results match
+// it bit-for-bit wherever that path runs the ordered wide kernel;
+// out-of-bounds taps are skipped (they contribute exact zeros there).
+// Reduction-free, so the wider-vector clones are bit-identical (gemm.hpp).
+FRLFI_TARGET_CLONES
+void conv_batch_inner(const float* FRLFI_RESTRICT x,
+                      const float* FRLFI_RESTRICT wt,
+                      const float* FRLFI_RESTRICT bias, const ConvShape& s,
+                      std::size_t out_c, std::size_t batch,
+                      float* FRLFI_RESTRICT y) {
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const std::size_t taps = s.in_c * s.k * s.k;
+  constexpr std::size_t kChunk = 16;
+  std::vector<ConvTap> row_taps;
+  row_taps.reserve(taps);
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    // Collect this output row's in-bounds taps once (ascending r).
+    row_taps.clear();
+    std::size_t lo_all = 0, hi_all = ow;
+    std::size_t r = 0;
+    for (std::size_t ic = 0; ic < s.in_c; ++ic) {
+      for (std::size_t ky = 0; ky < s.k; ++ky) {
+        const std::ptrdiff_t iy =
+            static_cast<std::ptrdiff_t>(oy * s.stride + ky) -
+            static_cast<std::ptrdiff_t>(s.pad);
+        const bool iy_ok = iy >= 0 && iy < static_cast<std::ptrdiff_t>(s.h);
+        for (std::size_t kx = 0; kx < s.k; ++kx, ++r) {
+          if (!iy_ok) continue;
+          std::size_t ox_lo, ox_hi;
+          conv_valid_ox_range(s, kx, ow, ox_lo, ox_hi);
+          if (ox_lo >= ox_hi) continue;
+          const float* row =
+              x + (ic * s.h + static_cast<std::size_t>(iy)) * s.w * batch;
+          const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kx) -
+                                     static_cast<std::ptrdiff_t>(s.pad);
+          row_taps.push_back({r, row, off, ox_lo, ox_hi});
+          lo_all = std::max(lo_all, ox_lo);
+          hi_all = std::min(hi_all, ox_hi);
+        }
+      }
+    }
+    if (lo_all > hi_all) hi_all = lo_all;
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      const float* FRLFI_RESTRICT wrow = wt + oc * taps;
+      const float bv = bias[oc];
+      float* FRLFI_RESTRICT yrow = y + (oc * oh + oy) * ow * batch;
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float* FRLFI_RESTRICT yv = yrow + ox * batch;
+        const std::ptrdiff_t xox =
+            static_cast<std::ptrdiff_t>(ox * s.stride);
+        const bool interior = ox >= lo_all && ox < hi_all;
+        for (std::size_t b0 = 0; b0 < batch; b0 += kChunk) {
+          const std::size_t blen = std::min(kChunk, batch - b0);
+          if (blen == kChunk) {
+            float acc[kChunk];
+            for (std::size_t l = 0; l < kChunk; ++l) acc[l] = bv;
+            if (interior) {
+              for (const ConvTap& t : row_taps) {
+                const float wv = wrow[t.r];
+                const float* FRLFI_RESTRICT xv =
+                    t.row + (xox + t.off) * static_cast<std::ptrdiff_t>(batch) +
+                    static_cast<std::ptrdiff_t>(b0);
+#pragma omp simd
+                for (std::size_t l = 0; l < kChunk; ++l) acc[l] += wv * xv[l];
+              }
+            } else {
+              for (const ConvTap& t : row_taps) {
+                if (ox < t.ox_lo || ox >= t.ox_hi) continue;
+                const float wv = wrow[t.r];
+                const float* FRLFI_RESTRICT xv =
+                    t.row + (xox + t.off) * static_cast<std::ptrdiff_t>(batch) +
+                    static_cast<std::ptrdiff_t>(b0);
+#pragma omp simd
+                for (std::size_t l = 0; l < kChunk; ++l) acc[l] += wv * xv[l];
+              }
+            }
+            for (std::size_t l = 0; l < kChunk; ++l) yv[b0 + l] = acc[l];
+          } else {
+            // Ragged tail chunk (batch not a multiple of 16).
+            float acc[kChunk];
+            for (std::size_t l = 0; l < blen; ++l) acc[l] = bv;
+            for (const ConvTap& t : row_taps) {
+              if (ox < t.ox_lo || ox >= t.ox_hi) continue;
+              const float wv = wrow[t.r];
+              const float* FRLFI_RESTRICT xv =
+                    t.row + (xox + t.off) * static_cast<std::ptrdiff_t>(batch) +
+                    static_cast<std::ptrdiff_t>(b0);
+#pragma omp simd
+              for (std::size_t l = 0; l < blen; ++l) acc[l] += wv * xv[l];
+            }
+            for (std::size_t l = 0; l < blen; ++l) yv[b0 + l] = acc[l];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, std::size_t padding,
@@ -63,6 +183,55 @@ Tensor Conv2D::forward(const Tensor& input) {
   gemm_bias_rows(weight_.value.data().data(), cols_.data(),
                  bias_.value.data().data(), out.data().data(), out_c_, rows,
                  ncols);
+  return out;
+}
+
+Tensor Conv2D::forward_batch(const Tensor& input, std::size_t batch) {
+  FRLFI_CHECK_MSG(batch >= 1 && input.rank() == 4 && input.dim(0) == batch &&
+                      input.dim(1) == in_c_,
+                  label_ << ": bad batched input " << input.shape_string()
+                         << " for batch " << batch);
+  return batch_to_major(forward_batch_inner(batch_to_inner(input, batch), batch),
+                        batch);
+}
+
+Tensor Conv2D::forward_batch_inner(Tensor input, std::size_t batch) {
+  FRLFI_CHECK_MSG(batch >= 1 && input.rank() == 4 && input.dim(0) == in_c_ &&
+                      input.dim(3) == batch,
+                  label_ << ": bad batch-inner input " << input.shape_string()
+                         << " for batch " << batch);
+  const ConvShape s{in_c_, input.dim(1), input.dim(2), k_, stride_, pad_};
+  out_extent(s.h);  // validates extent >= kernel with the layer's message
+  out_extent(s.w);
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  Tensor out({out_c_, oh, ow, batch});
+  // Below the SIMD-worthwhile width the direct kernel's B-wide saxpy
+  // degenerates: gather each sample out of the batch-inner layout and run
+  // the per-sample im2col+GEMM kernels instead — the exact forward()
+  // compute (bit-identical to it at every geometry), minus its caching.
+  if (batch < 8) {
+    thread_local std::vector<float> xs, cols, ys;
+    const std::size_t sample = in_c_ * s.h * s.w;
+    const std::size_t ncols = oh * ow;
+    xs.resize(sample);
+    cols.resize(s.rows() * ncols);
+    ys.resize(out_c_ * ncols);
+    const float* x = input.data().data();
+    float* y = out.data().data();
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t f = 0; f < sample; ++f) xs[f] = x[f * batch + b];
+      im2col(xs.data(), s, cols.data());
+      gemm_bias_rows(weight_.value.data().data(), cols.data(),
+                     bias_.value.data().data(), ys.data(), out_c_, s.rows(),
+                     ncols);
+      for (std::size_t f = 0; f < out_c_ * ncols; ++f)
+        y[f * batch + b] = ys[f];
+    }
+    return out;
+  }
+  conv_batch_inner(input.data().data(), weight_.value.data().data(),
+                   bias_.value.data().data(), s, out_c_, batch,
+                   out.data().data());
   return out;
 }
 

@@ -33,6 +33,23 @@ class Conv2D final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Batched forward over (B, in_c, H, W): delegates to
+  /// forward_batch_inner between two batch transposes. Matches per-sample
+  /// forward() bit-for-bit whenever a sample has >= 8 output positions
+  /// (both paths then accumulate the same reference-ordered chain); tiny
+  /// outputs at batch >= 8 differ in the last ulps because only the
+  /// single-sample path reassociates through the packed narrow kernel.
+  Tensor forward_batch(const Tensor& input, std::size_t batch) override;
+
+  /// Batch-innermost forward over (in_c, H, W, B): direct blocked
+  /// convolution — every tap a unit-stride saxpy across the batch, output
+  /// written straight into (out_c, OH, OW, B). No im2col, no patch matrix,
+  /// no reorder pass: the per-sample path's scalar patch gather (its
+  /// dominant cost at policy shapes) disappears entirely. Same equivalence
+  /// contract as forward_batch.
+  Tensor forward_batch_inner(Tensor input, std::size_t batch) override;
+
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;

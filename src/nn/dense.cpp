@@ -29,6 +29,46 @@ Tensor Dense::forward(const Tensor& input) {
   return out;
 }
 
+Tensor Dense::forward_batch(const Tensor& input, std::size_t batch) {
+  FRLFI_CHECK_MSG(batch >= 1 && input.dim(0) == batch &&
+                      input.size() == batch * in_,
+                  label_ << ": bad batched input " << input.shape_string()
+                         << " for batch " << batch);
+  // Yᵀ = bias ⊕ W·Xᵀ in the transposed layout: one fat GEMM whose
+  // per-element chain matches gemv_bias exactly. The two transposes are
+  // O(batch·features) against the GEMM's O(batch·in·out).
+  return batch_to_major(forward_batch_inner(batch_to_inner(input, batch), batch),
+                        batch);
+}
+
+Tensor Dense::forward_batch_inner(Tensor input, std::size_t batch) {
+  FRLFI_CHECK_MSG(batch >= 1 && input.size() == batch * in_ &&
+                      input.dim(input.rank() - 1) == batch,
+                  label_ << ": bad batch-inner input " << input.shape_string()
+                         << " for batch " << batch);
+  Tensor out({out_, batch});
+  if (batch < 8) {
+    // Keep the exact gemv chain below the wide-GEMM threshold: gather each
+    // sample's strided column, run the per-sample kernel, scatter back.
+    // Reused scratch: this path runs per decision step in small-fleet
+    // evaluation loops.
+    thread_local std::vector<float> xs, ys;
+    xs.resize(in_);
+    ys.resize(out_);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t j = 0; j < in_; ++j) xs[j] = input[j * batch + b];
+      gemv_bias(weight_.value.data().data(), xs.data(),
+                bias_.value.data().data(), ys.data(), out_, in_);
+      for (std::size_t o = 0; o < out_; ++o) out[o * batch + b] = ys[o];
+    }
+    return out;
+  }
+  gemm_bias_rows_ordered(weight_.value.data().data(), input.data().data(),
+                         bias_.value.data().data(), out.data().data(), out_,
+                         in_, batch);
+  return out;
+}
+
 Tensor Dense::backward(const Tensor& grad_output) {
   FRLFI_CHECK_MSG(grad_output.size() == out_, label_ << ": grad size mismatch");
   FRLFI_CHECK_MSG(!cached_input_.empty(), label_ << ": backward before forward");

@@ -18,6 +18,19 @@ class Dense final : public Layer {
 
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
+
+  /// Batched forward as one GEMM in the transposed layout (delegates to
+  /// forward_batch_inner between two batch transposes). Every output
+  /// element accumulates bias-first then the in-features in increasing
+  /// order — the exact gemv_bias chain — making batched rows bit-identical
+  /// to per-sample forward() for every batch size.
+  Tensor forward_batch(const Tensor& input, std::size_t batch) override;
+
+  /// Batch-innermost forward: the (in, B) input IS the Xᵀ operand, so the
+  /// bias-seeded GEMM consumes and produces the transposed layout with no
+  /// repacking at all. Bit-identical to forward() at every batch size.
+  Tensor forward_batch_inner(Tensor input, std::size_t batch) override;
+
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;

@@ -12,6 +12,20 @@ Tensor Flatten::forward(const Tensor& input) {
   return input.reshaped({input.size()});
 }
 
+Tensor Flatten::forward_batch(const Tensor& input, std::size_t batch) {
+  FRLFI_CHECK_MSG(batch >= 1 && input.rank() >= 2 && input.dim(0) == batch,
+                  label_ << ": bad batched input " << input.shape_string());
+  return input.reshaped({batch, input.size() / batch});
+}
+
+Tensor Flatten::forward_batch_inner(Tensor input, std::size_t batch) {
+  FRLFI_CHECK_MSG(batch >= 1 && input.rank() >= 2 &&
+                      input.dim(input.rank() - 1) == batch,
+                  label_ << ": bad batch-inner input " << input.shape_string());
+  const std::size_t features = input.size() / batch;
+  return std::move(input).reshaped({features, batch});
+}
+
 Tensor Flatten::backward(const Tensor& grad_output) {
   FRLFI_CHECK_MSG(!input_shape_.empty(), label_ << ": backward before forward");
   return grad_output.reshaped(input_shape_);

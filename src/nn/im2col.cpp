@@ -6,12 +6,10 @@
 #include "core/error.hpp"
 
 namespace frlfi {
-namespace {
 
-// Valid output-x range [lo, hi) for kernel tap kx: ix = ox*stride + kx - pad
-// must land in [0, w).
-inline void valid_ox_range(const ConvShape& s, std::size_t kx, std::size_t ow,
-                           std::size_t& lo, std::size_t& hi) {
+// ix = ox*stride + kx - pad must land in [0, w).
+void conv_valid_ox_range(const ConvShape& s, std::size_t kx, std::size_t ow,
+                         std::size_t& lo, std::size_t& hi) {
   const std::ptrdiff_t off =
       static_cast<std::ptrdiff_t>(kx) - static_cast<std::ptrdiff_t>(s.pad);
   std::ptrdiff_t first = 0;
@@ -35,8 +33,6 @@ inline void valid_ox_range(const ConvShape& s, std::size_t kx, std::size_t ow,
   hi = static_cast<std::size_t>(last) + 1;
 }
 
-}  // namespace
-
 void im2col(const float* x, const ConvShape& s, float* cols) {
   FRLFI_CHECK(s.in_c > 0 && s.h > 0 && s.w > 0 && s.k > 0 && s.stride > 0);
   FRLFI_CHECK_MSG(s.h + 2 * s.pad >= s.k && s.w + 2 * s.pad >= s.k,
@@ -50,7 +46,7 @@ void im2col(const float* x, const ConvShape& s, float* cols) {
       for (std::size_t kx = 0; kx < s.k; ++kx, ++r) {
         float* dst = cols + r * ncols;
         std::size_t ox_lo, ox_hi;
-        valid_ox_range(s, kx, ow, ox_lo, ox_hi);
+        conv_valid_ox_range(s, kx, ow, ox_lo, ox_hi);
         for (std::size_t oy = 0; oy < oh; ++oy) {
           float* drow = dst + oy * ow;
           const std::ptrdiff_t iy =
@@ -95,7 +91,7 @@ void col2im_accumulate(const float* cols, const ConvShape& s, float* x) {
       for (std::size_t kx = 0; kx < s.k; ++kx, ++r) {
         const float* src = cols + r * ncols;
         std::size_t ox_lo, ox_hi;
-        valid_ox_range(s, kx, ow, ox_lo, ox_hi);
+        conv_valid_ox_range(s, kx, ow, ox_lo, ox_hi);
         if (ox_lo >= ox_hi) continue;
         const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kx) -
                                    static_cast<std::ptrdiff_t>(s.pad);

@@ -32,6 +32,12 @@ struct ConvShape {
   std::size_t cols() const { return out_h() * out_w(); }
 };
 
+/// Valid output-x range [lo, hi) for kernel tap kx: the ox for which
+/// ix = ox*stride + kx - pad lands inside [0, w). Shared by the im2col
+/// lowering and the direct batch-inner convolution.
+void conv_valid_ox_range(const ConvShape& s, std::size_t kx, std::size_t ow,
+                         std::size_t& lo, std::size_t& hi);
+
 /// Unroll a CHW input (s.in_c * s.h * s.w floats) into `cols`
 /// (s.rows() * s.cols() floats, row-major). Padding taps are written as 0.
 void im2col(const float* x, const ConvShape& s, float* cols);

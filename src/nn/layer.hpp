@@ -5,9 +5,19 @@
 ///
 /// The networks here are small (the paper's policies are a 2-layer MLP for
 /// GridWorld and a 3-Conv + 2-FC net for DroneNav) and trained online, one
-/// sample at a time, so layers process single CHW/flat samples. Each layer
-/// caches what it needs during forward() so a following backward() can
-/// produce input gradients and accumulate parameter gradients.
+/// sample at a time, so the training path processes single CHW/flat
+/// samples. Each layer caches what it needs during forward() so a
+/// following backward() can produce input gradients and accumulate
+/// parameter gradients.
+///
+/// Inference additionally has a batched path: forward_batch() maps a
+/// tensor whose leading dimension is the batch (rank-4 [B,C,H,W] for conv
+/// stages, rank-2 [B,features] for dense stages) to the batched output.
+/// The base-class default simply loops forward() over the samples — by
+/// construction bit-identical to the per-sample path — while the
+/// compute-heavy layers override it with real multi-sample GEMMs.
+/// forward_batch() is inference-only: it never touches the backward()
+/// caches, so interleaving batched evaluation with training is safe.
 
 #include <memory>
 #include <string>
@@ -47,6 +57,27 @@ class Layer {
   /// dLoss/dInput for the layer below.
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
+  /// Map `batch` stacked input samples (leading dim = batch) to the
+  /// stacked outputs. Row b of the result equals forward() of row b —
+  /// bit-identical wherever the GEMM ordering contract holds (see
+  /// gemm.hpp); layers whose batched kernels reassociate tiny reductions
+  /// document the tolerance. Unlike forward(), nothing is cached: calling
+  /// backward() afterwards still differentiates the last forward().
+  ///
+  /// The default implementation loops forward() per sample and therefore
+  /// *does* overwrite the backward caches; overrides must not.
+  virtual Tensor forward_batch(const Tensor& input, std::size_t batch);
+
+  /// Batch-innermost fast path used by Network::forward_batch: `input`
+  /// carries the batch as the innermost (fastest-moving) dimension —
+  /// (C, H, W, B) for image stages, (features, B) for flat stages — so
+  /// every elementwise/tap/GEMM kernel vectorizes across the batch with
+  /// unit stride and convolutions need no im2col at all. Taking the tensor
+  /// by value lets elementwise layers run in place on the moved-in buffer.
+  /// Same numeric contract and cache rules as forward_batch. The default
+  /// transposes to batch-major, runs forward_batch, and transposes back.
+  virtual Tensor forward_batch_inner(Tensor input, std::size_t batch);
+
   /// Trainable parameters (possibly empty). Pointers remain valid for the
   /// lifetime of the layer.
   virtual std::vector<Parameter*> parameters() { return {}; }
@@ -57,5 +88,11 @@ class Layer {
   /// Deep copy (parameters included, caches excluded).
   virtual std::unique_ptr<Layer> clone() const = 0;
 };
+
+/// (B, d1..dk) -> (d1..dk, B): gather each feature's B values contiguous.
+Tensor batch_to_inner(const Tensor& batch_major, std::size_t batch);
+
+/// (d1..dk, B) -> (B, d1..dk): the inverse scatter.
+Tensor batch_to_major(const Tensor& batch_inner, std::size_t batch);
 
 }  // namespace frlfi

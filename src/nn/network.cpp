@@ -39,6 +39,20 @@ Tensor Network::forward(const Tensor& input) {
   return x;
 }
 
+Tensor Network::forward_batch(const Tensor& input, std::size_t batch) {
+  FRLFI_CHECK_MSG(!layers_.empty(), "forward_batch on empty network");
+  FRLFI_CHECK_MSG(batch >= 1 && input.dim(0) == batch,
+                  "bad batch input " << input.shape_string());
+  // One transpose into batch-innermost layout, the whole stack on the
+  // fast batch-inner kernels, one transpose back.
+  Tensor x = batch_to_inner(input, batch);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward_batch_inner(std::move(x), batch);
+    if (activation_hook_) activation_hook_(i, x);
+  }
+  return batch_to_major(x, batch);
+}
+
 Tensor Network::backward(const Tensor& grad_output) {
   FRLFI_CHECK_MSG(!layers_.empty(), "backward on empty network");
   Tensor g = grad_output;

@@ -42,8 +42,26 @@ class Network {
   void set_activation_hook(
       std::function<void(std::size_t, Tensor&)> hook);
 
+  /// The currently installed activation hook (empty function if none) —
+  /// lets scoped overriders (batched screening) save and restore it.
+  const std::function<void(std::size_t, Tensor&)>& activation_hook() const {
+    return activation_hook_;
+  }
+
   /// Run the full forward pass.
   Tensor forward(const Tensor& input);
+
+  /// Run the full forward pass over `batch` stacked samples (leading dim =
+  /// batch; rank-4 (B,C,H,W) for conv stacks, rank-2 (B,features) for MLPs).
+  /// Row b of the result matches forward() of sample b under the layer
+  /// equivalence contracts (see Layer::forward_batch). Internally the stack
+  /// runs in batch-innermost layout (one transpose in, one out; see
+  /// Layer::forward_batch_inner), so the activation hook, when set,
+  /// receives each layer's activations as a *batch-inner* tensor —
+  /// (C,H,W,B)/(features,B) — which elementwise consumers like the range
+  /// screen scan in one pass over the whole batch. Backward caches are
+  /// untouched except through the default per-sample fallback.
+  Tensor forward_batch(const Tensor& input, std::size_t batch);
 
   /// Run backward from dLoss/dOutput; accumulates parameter gradients and
   /// returns dLoss/dInput.

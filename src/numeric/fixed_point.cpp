@@ -30,11 +30,13 @@ FixedPointCodec::FixedPointCodec(FixedPointFormat format) : format_(format) {
   mask_ = bits == 32 ? 0xFFFFFFFFu : ((1u << bits) - 1u);
   sign_bit_ = 1u << (bits - 1);
   scale_ = std::pow(2.0, format_.fraction_bits);
+  lo_ = format_.min_value();
+  hi_ = format_.max_value();
 }
 
 std::uint32_t FixedPointCodec::encode(double value) const {
-  const double lo = format_.min_value();
-  const double hi = format_.max_value();
+  const double lo = lo_;
+  const double hi = hi_;
   double v = value;
   if (std::isnan(v)) v = 0.0;
   if (v < lo) v = lo;

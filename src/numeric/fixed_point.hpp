@@ -74,6 +74,8 @@ class FixedPointCodec {
   std::uint32_t mask_;      // word_bits() low bits set
   std::uint32_t sign_bit_;  // 1 << (word_bits()-1)
   double scale_;            // 2^fraction_bits
+  double lo_;               // format_.min_value(), cached: encode() runs
+  double hi_;               // per-weight in the fault injector's hot loop
 };
 
 }  // namespace frlfi

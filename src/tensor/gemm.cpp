@@ -97,11 +97,16 @@ inline void saxpy_rows6(const float* FRLFI_RESTRICT a,
   }
 }
 
-inline void accumulate_blocked_from(const float* FRLFI_RESTRICT a,
-                                    const float* FRLFI_RESTRICT b,
-                                    float* FRLFI_RESTRICT c, std::size_t m,
-                                    std::size_t k, std::size_t n,
-                                    std::size_t p_begin) {
+// Out-of-line so the saxpy loops inline into each target clone and the
+// whole wide-GEMM path gets the AVX2 codegen (see FRLFI_TARGET_CLONES:
+// every loop in here is an ordered saxpy chain, so the clones are
+// bit-identical).
+FRLFI_TARGET_CLONES
+void accumulate_blocked_from(const float* FRLFI_RESTRICT a,
+                             const float* FRLFI_RESTRICT b,
+                             float* FRLFI_RESTRICT c, std::size_t m,
+                             std::size_t k, std::size_t n,
+                             std::size_t p_begin) {
   for (std::size_t i0 = 0; i0 < m; i0 += kBlockI) {
     const std::size_t imax = std::min(i0 + kBlockI, m);
     for (std::size_t p0 = p_begin; p0 < k; p0 += kBlockK) {
@@ -149,6 +154,13 @@ void gemm_bias_rows(const float* a, const float* b, const float* bias,
     accumulate_narrow(a, b, c, m, k, n);
     return;
   }
+  gemm_bias_rows_ordered(a, b, bias, c, m, k, n);
+}
+
+FRLFI_TARGET_CLONES
+void gemm_bias_rows_ordered(const float* a, const float* b, const float* bias,
+                            float* c, std::size_t m, std::size_t k,
+                            std::size_t n) {
   // Seed with the p = 0 term fused onto the bias (one write pass instead of
   // a bias fill followed by a read-modify-write), then accumulate the rest.
   for (std::size_t i = 0; i < m; ++i) {
@@ -164,6 +176,28 @@ void gemm_bias_rows(const float* a, const float* b, const float* bias,
 
 void gemm_nt_accumulate(const float* a, const float* b, float* c,
                         std::size_t m, std::size_t k, std::size_t n) {
+  // Narrow-k path (mirrors the forward's packed narrow kernel): with only a
+  // few reduction terms the per-output SIMD dot degenerates to loop
+  // overhead, so unpack Bᵀ back to (k x n) once and stream saxpy rows —
+  // contiguous j-vectorization with the k-chain in increasing p order.
+  if (k < kNarrowN && n >= kNarrowN) {
+    thread_local std::vector<float> scratch;
+    scratch.resize(k * n);
+    float* FRLFI_RESTRICT bn = scratch.data();
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t p = 0; p < k; ++p) bn[p * n + j] = b[j * k + p];
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* FRLFI_RESTRICT arow = a + i * k;
+      float* FRLFI_RESTRICT crow = c + i * n;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const float* FRLFI_RESTRICT brow = bn + p * n;
+#pragma omp simd
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
   for (std::size_t i = 0; i < m; ++i) {
     const float* FRLFI_RESTRICT arow = a + i * k;
     float* FRLFI_RESTRICT crow = c + i * n;
@@ -179,6 +213,34 @@ void gemm_nt_accumulate(const float* a, const float* b, float* c,
 
 void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
              std::size_t k, std::size_t n) {
+  // Narrow-n path: the j-vectorized saxpy below degenerates when a row of C
+  // holds only a few elements, so pack both operands k-contiguous (Aᵀ is
+  // stored (k x m), B is (k x n)) and compute each output as a SIMD dot —
+  // the same shape of fix as gemm's packed narrow kernel.
+  if (n < kNarrowN && k >= kNarrowN) {
+    thread_local std::vector<float> scratch;
+    scratch.resize((m + n) * k);
+    float* FRLFI_RESTRICT at = scratch.data();
+    float* FRLFI_RESTRICT bt = scratch.data() + m * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* FRLFI_RESTRICT arow = a + p * m;
+      for (std::size_t i = 0; i < m; ++i) at[i * k + p] = arow[i];
+      const float* FRLFI_RESTRICT brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) bt[j * k + p] = brow[j];
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* FRLFI_RESTRICT arow = at + i * k;
+      float* FRLFI_RESTRICT crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* FRLFI_RESTRICT brow = bt + j * k;
+        float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+        for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
+    }
+    return;
+  }
   std::memset(c, 0, m * n * sizeof(float));
   for (std::size_t p = 0; p < k; ++p) {
     const float* FRLFI_RESTRICT arow = a + p * m;
@@ -227,6 +289,7 @@ void gemv_bias(const float* w, const float* x, const float* bias, float* y,
   }
 }
 
+FRLFI_TARGET_CLONES
 void gemv_t_accumulate(const float* w, const float* g, float* y, std::size_t m,
                        std::size_t n) {
   for (std::size_t i = 0; i < m; ++i) {
@@ -237,6 +300,7 @@ void gemv_t_accumulate(const float* w, const float* g, float* y, std::size_t m,
   }
 }
 
+FRLFI_TARGET_CLONES
 void ger_accumulate(const float* g, const float* x, float* a, std::size_t m,
                     std::size_t n) {
   for (std::size_t i = 0; i < m; ++i) {

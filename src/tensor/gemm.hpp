@@ -27,6 +27,23 @@
 #define FRLFI_RESTRICT
 #endif
 
+// Runtime-dispatched wider-vector clones for kernels whose loops are pure
+// elementwise/saxpy chains. AVX2 vmulps/vaddps are IEEE-identical per lane
+// to the SSE baseline and the build keeps ISO fp-contract (no FMA fusing),
+// so for reduction-free loops the vector width cannot change a single
+// result bit — cloning preserves the library's cross-machine
+// bit-reproducibility while roughly doubling hot-loop throughput on AVX2
+// parts. Kernels with reductions (packed narrow dots, the transposed
+// GEMMs, gemv) must NOT be cloned: their reduction-tree shape follows the
+// vector width.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    !defined(__AVX2__)
+#define FRLFI_TARGET_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define FRLFI_TARGET_CLONES
+#endif
+
 namespace frlfi {
 
 /// C (m x n) = A (m x k) · B (k x n). C is overwritten.
@@ -44,6 +61,16 @@ void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
 /// Fused form used by Conv2D::forward (k must be >= 1).
 void gemm_bias_rows(const float* a, const float* b, const float* bias,
                     float* c, std::size_t m, std::size_t k, std::size_t n);
+
+/// gemm_bias_rows that always runs the ordered saxpy kernel, even below
+/// the narrow-n threshold where gemm_bias_rows would switch to the packed
+/// (reassociating) dot kernel. Used by Dense's batch-inner GEMM (n = B)
+/// so its per-element chain is reference-ordered at every width — the
+/// entry point any future batch-sharded caller must use, since results
+/// cannot depend on the width a shard happens to have.
+void gemm_bias_rows_ordered(const float* a, const float* b, const float* bias,
+                            float* c, std::size_t m, std::size_t k,
+                            std::size_t n);
 
 /// C (m x n) += A (m x k) · Bᵀ where B is stored (n x k). Both operand
 /// rows are contiguous, so the k-reduction vectorizes as a dot product.

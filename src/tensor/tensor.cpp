@@ -106,13 +106,24 @@ float Tensor::at4(std::size_t n, std::size_t ch, std::size_t r,
   return data_[checked_offset4(n, ch, r, c)];
 }
 
-Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const& {
   const std::size_t n = shape_elements(new_shape);
   FRLFI_CHECK_MSG(n == size(), "reshape " << shape_string() << " to "
                                           << n << " elements");
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) && {
+  const std::size_t n = shape_elements(new_shape);
+  FRLFI_CHECK_MSG(n == size(), "reshape " << shape_string() << " to "
+                                          << n << " elements");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = std::move(data_);
+  shape_.clear();
   return t;
 }
 

@@ -77,7 +77,11 @@ class Tensor {
   float at4(std::size_t n, std::size_t ch, std::size_t r, std::size_t c) const;
 
   /// Reinterpret as a new shape with the same element count.
-  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+  Tensor reshaped(std::vector<std::size_t> new_shape) const&;
+
+  /// Rvalue overload: moves this tensor's storage into the result instead
+  /// of copying it (hot-path reshapes of temporaries).
+  Tensor reshaped(std::vector<std::size_t> new_shape) &&;
 
   /// Fill every element with v.
   void fill(float v);

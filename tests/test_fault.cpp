@@ -160,6 +160,46 @@ TEST(InjectFixedPoint, CleanPassIsQuantizationOnly) {
   EXPECT_NEAR(w[1], -0.125f, 1e-3f);
 }
 
+TEST(InjectFixedPoint, MaskPathMatchesReferenceExactly) {
+  // The mask-based hot path consumes the identical Bernoulli stream as the
+  // per-bit reference, so for equal seeds the corrupted buffers and flip
+  // counts must agree bit-for-bit across every model/direction.
+  const FaultSpec base = [] {
+    FaultSpec s;
+    s.ber = 0.02;
+    return s;
+  }();
+  struct Case {
+    FaultModel model;
+    FlipDirection direction;
+  };
+  const Case cases[] = {
+      {FaultModel::TransientPersistent, FlipDirection::Any},
+      {FaultModel::TransientPersistent, FlipDirection::ZeroToOne},
+      {FaultModel::TransientPersistent, FlipDirection::OneToZero},
+      {FaultModel::StuckAt0, FlipDirection::Any},
+      {FaultModel::StuckAt1, FlipDirection::Any},
+  };
+  for (const auto& c : cases) {
+    FaultSpec spec = base;
+    spec.model = c.model;
+    spec.direction = c.direction;
+    Rng seed_rng(21);
+    std::vector<float> w_fast(800), w_ref;
+    for (auto& v : w_fast) v = static_cast<float>(seed_rng.uniform(-2.0, 2.0));
+    w_ref = w_fast;
+    Rng rng_fast(22), rng_ref(22);
+    const InjectionReport fast = inject_fixed_point(
+        w_fast, FixedPointFormat::q1_7_8(), spec, rng_fast);
+    const InjectionReport ref = inject_fixed_point_reference(
+        w_ref, FixedPointFormat::q1_7_8(), spec, rng_ref);
+    EXPECT_EQ(fast.bits_flipped, ref.bits_flipped);
+    EXPECT_EQ(fast.bits_total, ref.bits_total);
+    EXPECT_EQ(w_fast, w_ref);
+    EXPECT_GT(fast.bits_flipped, 0u);  // the case actually exercised flips
+  }
+}
+
 TEST(InjectNetwork, ChangesParameters) {
   Rng init(15);
   Network net = make_gridworld_policy(init);

@@ -83,28 +83,42 @@ TEST(Gemm, BiasRowsSeedsAndOverwrites) {
 
 TEST(Gemm, NtAccumulateMatchesTransposedReference) {
   Rng rng(9);
-  const std::size_t m = 5, k = 19, n = 8;
-  const auto a = random_matrix(m, k, rng);
-  const auto bt = random_matrix(n, k, rng);  // B stored transposed (n x k)
-  std::vector<float> b(k * n);
-  for (std::size_t p = 0; p < k; ++p)
-    for (std::size_t j = 0; j < n; ++j) b[p * n + j] = bt[j * k + p];
-  std::vector<float> c(m * n, 0.0f);
-  gemm_nt_accumulate(a.data(), bt.data(), c.data(), m, k, n);
-  expect_near(c, reference_product(a, b, m, k, n));
+  // Cases straddle the narrow-k packed path (k < 8): {16,3,48} is the
+  // degenerate 12x2x4 drone conv2 weight-gradient shape that motivated it.
+  const std::size_t cases[][3] = {
+      {5, 19, 8}, {16, 3, 48}, {16, 8, 48}, {3, 2, 5}, {1, 7, 64}};
+  for (const auto& d : cases) {
+    const std::size_t m = d[0], k = d[1], n = d[2];
+    const auto a = random_matrix(m, k, rng);
+    const auto bt = random_matrix(n, k, rng);  // B stored transposed (n x k)
+    std::vector<float> b(k * n);
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t j = 0; j < n; ++j) b[p * n + j] = bt[j * k + p];
+    std::vector<float> c(m * n, 0.5f);  // accumulate on top
+    gemm_nt_accumulate(a.data(), bt.data(), c.data(), m, k, n);
+    auto want = reference_product(a, b, m, k, n);
+    for (auto& v : want) v += 0.5f;
+    expect_near(c, want);
+  }
 }
 
 TEST(Gemm, TnMatchesTransposedReference) {
   Rng rng(10);
-  const std::size_t m = 9, k = 7, n = 12;
-  const auto at = random_matrix(k, m, rng);  // A stored transposed (k x m)
-  const auto b = random_matrix(k, n, rng);
-  std::vector<float> a(m * k);
-  for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t p = 0; p < k; ++p) a[i * k + p] = at[p * m + i];
-  std::vector<float> c(m * n, -3.0f);  // gemm_tn overwrites
-  gemm_tn(at.data(), b.data(), c.data(), m, k, n);
-  expect_near(c, reference_product(a, b, m, k, n));
+  // Cases straddle the narrow-n packed path (n < 8): {48,16,3} is the
+  // degenerate 12x2x4 drone conv2 input-gradient shape that motivated it.
+  const std::size_t cases[][3] = {
+      {9, 7, 12}, {48, 16, 3}, {48, 16, 8}, {4, 3, 2}, {64, 9, 1}};
+  for (const auto& d : cases) {
+    const std::size_t m = d[0], k = d[1], n = d[2];
+    const auto at = random_matrix(k, m, rng);  // A stored transposed (k x m)
+    const auto b = random_matrix(k, n, rng);
+    std::vector<float> a(m * k);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t p = 0; p < k; ++p) a[i * k + p] = at[p * m + i];
+    std::vector<float> c(m * n, -3.0f);  // gemm_tn overwrites
+    gemm_tn(at.data(), b.data(), c.data(), m, k, n);
+    expect_near(c, reference_product(a, b, m, k, n));
+  }
 }
 
 TEST(Gemm, ZeroSkipMatchesDenseOnSparseInput) {

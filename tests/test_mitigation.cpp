@@ -175,6 +175,91 @@ TEST(RangeDetector, TopologyMismatchThrows) {
   EXPECT_THROW(det.scan(drone), Error);
 }
 
+std::vector<Tensor> calibration_obs(std::size_t n, std::uint64_t seed) {
+  std::vector<Tensor> obs;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i)
+    obs.push_back(Tensor::random_uniform({10}, rng, 0.0f, 1.0f));
+  return obs;
+}
+
+TEST(RangeDetector, ActivationCalibrationCoversEveryLayer) {
+  Rng rng(7);
+  Network net = make_gridworld_policy(rng);
+  RangeAnomalyDetector det(net, {.margin = 0.10});
+  EXPECT_FALSE(det.has_activation_calibration());
+  det.calibrate_activations(net, calibration_obs(16, 70));
+  ASSERT_TRUE(det.has_activation_calibration());
+  for (std::size_t l = 0; l < net.layer_count(); ++l) {
+    const auto [lo, hi] = det.activation_bounds(l);
+    EXPECT_LE(lo, hi) << "layer " << l;
+  }
+  EXPECT_THROW(det.activation_bounds(net.layer_count()), Error);
+}
+
+TEST(RangeDetector, CleanActivationsPassBatched) {
+  Rng rng(8);
+  Network net = make_gridworld_policy(rng);
+  RangeAnomalyDetector det(net, {.margin = 0.10});
+  const auto obs = calibration_obs(16, 80);
+  det.calibrate_activations(net, obs);
+  // Batched activations of calibration inputs sit inside the widened
+  // ranges: screening in one pass over the whole batch suppresses nothing.
+  Tensor batch({obs.size(), 10});
+  for (std::size_t b = 0; b < obs.size(); ++b)
+    for (std::size_t j = 0; j < 10; ++j) batch[b * 10 + j] = obs[b][j];
+  std::size_t suppressed = 0;
+  net.set_activation_hook([&](std::size_t layer, Tensor& act) {
+    suppressed += det.suppress_activations(layer, act);
+  });
+  net.forward_batch(batch, obs.size());
+  net.set_activation_hook(nullptr);
+  EXPECT_EQ(suppressed, 0u);
+}
+
+TEST(RangeDetector, SuppressesOutlierActivationsInOnePass) {
+  Rng rng(9);
+  Network net = make_gridworld_policy(rng);
+  RangeAnomalyDetector det(net, {.margin = 0.10});
+  det.calibrate_activations(net, calibration_obs(16, 90));
+  const auto [lo, hi] = det.activation_bounds(0);
+  // A batched layer-0 activation with outliers planted in two samples.
+  Tensor act({4, 32}, 0.0f);
+  act[5] = hi * 4.0f + 1.0f;
+  act[3 * 32 + 7] = lo - 100.0f;
+  EXPECT_EQ(det.scan_activations(0, act), 2u);
+  EXPECT_EQ(det.suppress_activations(0, act), 2u);
+  EXPECT_EQ(act[5], 0.0f);
+  EXPECT_EQ(act[3 * 32 + 7], 0.0f);
+  EXPECT_EQ(det.scan_activations(0, act), 0u);
+}
+
+TEST(RangeDetector, ActivationScreeningCatchesInRangeWeightFault) {
+  // The scenario weight scanning misses: corrupted weights that stay
+  // inside the calibrated weight range can still drive activations far
+  // outside their range, where the activation screen catches them.
+  Rng rng(10);
+  Network net = make_gridworld_policy(rng);
+  RangeAnomalyDetector det(net, {.margin = 0.10});
+  det.calibrate_activations(net, calibration_obs(32, 100));
+  Network corrupted = net.clone();
+  // Set every first-layer weight to the calibrated max: individually legal,
+  // collectively an out-of-range activation amplifier.
+  auto params = corrupted.parameters();
+  const float legal = params[0]->value.max();
+  for (float& w : params[0]->value.data()) w = legal;
+  EXPECT_EQ(det.scan(corrupted), 0u);  // weight scan sees nothing
+  Rng obs_rng(101);
+  const Tensor obs = Tensor::random_uniform({1, 10}, obs_rng, 0.5f, 1.0f);
+  std::size_t suppressed = 0;
+  corrupted.set_activation_hook([&](std::size_t layer, Tensor& act) {
+    suppressed += det.suppress_activations(layer, act);
+  });
+  corrupted.forward_batch(obs, 1);
+  corrupted.set_activation_hook(nullptr);
+  EXPECT_GT(suppressed, 0u);
+}
+
 TEST(RangeDetector, ZeroMarginIsExactRange) {
   Rng rng(6);
   Network net = make_gridworld_policy(rng);
