@@ -5,6 +5,9 @@
 ///  * Tensor::matmul GFLOP/s at small/medium shapes,
 ///  * batched inference: B single-sample policy forwards vs one
 ///    Network::forward_batch at B in {1,4,16,64} on the drone policy,
+///  * sharded batched inference: a B x threads sweep of forward_batch
+///    split across a ThreadPool, with a bit-identity check against the
+///    unsharded forward (wall-clock speedup needs multi-core hardware),
 ///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
 ///    1000-trial campaign, with a bit-identity check on the stats.
 ///
@@ -79,12 +82,18 @@ struct CampaignRow {
   double serial_tps = 0.0, parallel_tps = 0.0;
   bool identical = false;
 };
+struct ShardedRow {
+  std::size_t batch = 0, threads = 0, shards = 0;
+  double us = 0.0, speedup = 0.0;  // vs the same batch on 1 thread
+  bool identical = false;          // bit-identical to the unsharded forward
+};
 struct Report {
   bool quick = false;
   std::vector<ConvRow> conv_forward;
   std::vector<BackwardRow> conv_backward;
   std::vector<MatmulRow> matmul;
   std::vector<BatchedRow> batched;
+  std::vector<ShardedRow> sharded;
   CampaignRow campaign;
 };
 
@@ -227,6 +236,54 @@ double bench_batched(double min_time, Report& report) {
   return b64_speedup;
 }
 
+// Multi-core sharded inference: one forward_batch split into per-lane
+// sub-batches across a ThreadPool (drone policy shapes). Wall-clock gains
+// need real cores; bit-identity to the unsharded forward is checked (and
+// must hold) everywhere.
+bool bench_sharded(double min_time, Report& report) {
+  std::printf(
+      "\n== Sharded batched inference: forward_batch over the thread pool "
+      "==\n");
+  std::printf(
+      "(drone policy, B x threads sweep, microseconds per whole-batch call)\n");
+  std::printf("%-8s %8s %8s %14s %10s %14s\n", "batch", "threads", "shards",
+              "us/call", "speedup", "bit-identical");
+  Rng rng(11);
+  Network net = make_drone_policy(rng);
+  bool all_identical = true;
+  for (const std::size_t batch : {std::size_t{16}, std::size_t{64}}) {
+    Rng xr(12);
+    const Tensor xb =
+        Tensor::random_uniform({batch, 3, 18, 32}, xr, 0.0f, 1.0f);
+    const Tensor serial = net.forward_batch(xb, batch);
+    double t_one_thread = 0.0;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      ThreadPool pool(threads);
+      const double t = time_per_call(
+          min_time, [&] { net.forward_batch(xb, batch, &pool); });
+      if (threads == 1) t_one_thread = t;
+      const Tensor sharded = net.forward_batch(xb, batch, &pool);
+      bool identical = sharded.shape() == serial.shape();
+      for (std::size_t i = 0; identical && i < serial.size(); ++i)
+        identical = sharded[i] == serial[i];
+      all_identical = all_identical && identical;
+      const double speedup = t_one_thread / t;
+      report.sharded.push_back({batch, threads,
+                                batch_shard_count(batch, threads), t * 1e6,
+                                speedup, identical});
+      std::printf("%-8zu %8zu %8zu %14.2f %9.2fx %14s\n", batch, threads,
+                  batch_shard_count(batch, threads), t * 1e6, speedup,
+                  identical ? "YES" : "NO  <-- BUG");
+    }
+  }
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf(
+        "note: single-core container — sharding cannot show wall-clock "
+        "speedup here; bit-identity is the asserted property.\n");
+  return all_identical;
+}
+
 // Emit the collected measurements as JSON (hand-rolled: flat schema, ASCII
 // labels only) so CI and future PRs can diff kernel performance.
 void write_json(const Report& r, const char* path) {
@@ -269,8 +326,21 @@ void write_json(const Report& r, const char* path) {
                  row.batch, row.single_us, row.batched_us, row.speedup,
                  i + 1 < r.batched.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"sharded_inference\": [\n");
+  for (std::size_t i = 0; i < r.sharded.size(); ++i) {
+    const auto& row = r.sharded[i];
+    std::fprintf(f,
+                 "    {\"batch\": %zu, \"threads\": %zu, \"shards\": %zu, "
+                 "\"us_per_call\": %.4f, \"speedup_vs_1thread\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 row.batch, row.threads, row.shards, row.us, row.speedup,
+                 row.identical ? "true" : "false",
+                 i + 1 < r.sharded.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f,
-               "  ],\n  \"campaign\": {\"trials\": %zu, \"threads\": %zu, "
+               "  \"campaign\": {\"trials\": %zu, \"threads\": %zu, "
                "\"serial_trials_per_s\": %.1f, \"parallel_trials_per_s\": "
                "%.1f, \"bit_identical\": %s}\n}\n",
                r.campaign.trials, r.campaign.threads, r.campaign.serial_tps,
@@ -375,8 +445,10 @@ int main(int argc, char** argv) {
   frlfi::bench_conv(min_time, report);
   frlfi::bench_matmul(min_time, report);
   frlfi::bench_batched(min_time, report);
-  // Nonzero exit on a determinism regression so the CI smoke run fails.
+  // Nonzero exit on a determinism regression so the CI smoke run fails —
+  // both the campaign reduction and the sharded-forward bit-identity.
+  const bool sharded_ok = frlfi::bench_sharded(min_time, report);
   const bool identical = frlfi::bench_campaign(trials, threads, report);
   frlfi::write_json(report, "BENCH_kernels.json");
-  return identical ? 0 : 1;
+  return identical && sharded_ok ? 0 : 1;
 }

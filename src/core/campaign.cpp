@@ -1,6 +1,5 @@
 #include "core/campaign.hpp"
 
-#include <algorithm>
 #include <vector>
 
 #include "core/error.hpp"
@@ -14,36 +13,19 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
   FRLFI_CHECK(static_cast<bool>(trial_fn));
   CampaignResult result;
   const Rng base(cfg.seed);
-  // Never spawn more lanes than there are trials to run.
-  const std::size_t lanes =
-      cfg.threads == 1
-          ? 1
-          : std::min(resolve_thread_count(cfg.threads), cfg.trials);
-  if (lanes <= 1) {
-    for (std::size_t t = 0; t < cfg.trials; ++t) {
-      Rng trial_rng = base.split(t);
-      result.stats.add(trial_fn(trial_rng));
-    }
-    return result;
-  }
-  // Parallel path: trial t's stream depends only on (seed, t) and the
-  // metrics are folded in trial order below, so the reduction is
-  // deterministic — bit-identical to the serial loop above.
+  // Trial t's stream depends only on (seed, t) and the metrics are folded
+  // in trial order below, so the reduction is deterministic — parallel
+  // runs are bit-identical to serial ones. Serial-vs-pool choice (never
+  // more lanes than trials, per-call FRLFI_NUM_THREADS re-resolution,
+  // global-pool reuse) is dispatch_lanes's single shared rule.
   std::vector<double> metrics(cfg.trials);
-  const auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t t = begin; t < end; ++t) {
-      Rng trial_rng = base.split(t);
-      metrics[t] = trial_fn(trial_rng);
-    }
-  };
-  if (cfg.threads == 0) {
-    // Auto mode reuses the process-wide pool so back-to-back campaigns
-    // don't pay thread spawn/join each time.
-    ThreadPool::global().parallel_for(cfg.trials, body);
-  } else {
-    ThreadPool pool(lanes);
-    pool.parallel_for(cfg.trials, body);
-  }
+  dispatch_lanes(cfg.threads, cfg.trials,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t t = begin; t < end; ++t) {
+                     Rng trial_rng = base.split(t);
+                     metrics[t] = trial_fn(trial_rng);
+                   }
+                 });
   for (double m : metrics) result.stats.add(m);
   return result;
 }

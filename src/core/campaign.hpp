@@ -27,8 +27,13 @@ struct CampaignConfig {
   std::size_t trials = 1;
   /// Worker lanes for trial execution. 1 (default) runs strictly serial on
   /// the calling thread; 0 resolves via FRLFI_NUM_THREADS / hardware
-  /// concurrency; any other value is used as-is. With more than one lane
-  /// `trial_fn` is invoked concurrently and must not mutate shared state.
+  /// concurrency — the environment is re-read on *every* run_campaign call
+  /// (the process-wide pool is reused only while its pinned lane count
+  /// still matches; see ThreadPool::global()); any other value is used
+  /// as-is. With more than one lane `trial_fn` is invoked concurrently and
+  /// must not mutate shared state. Nested use — trial_fn itself calling
+  /// run_campaign or ThreadPool::parallel_for — degrades to inline
+  /// execution instead of deadlocking (see parallel.hpp).
   std::size_t threads = 1;
 };
 

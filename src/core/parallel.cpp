@@ -8,17 +8,36 @@
 namespace frlfi {
 namespace {
 
-// Lane `lane` of `parts` gets a contiguous range of [0, n): the first
-// n % parts lanes take one extra element.
-void lane_range(std::size_t n, std::size_t parts, std::size_t lane,
-                std::size_t& begin, std::size_t& end) {
-  const std::size_t base = n / parts;
-  const std::size_t rem = n % parts;
-  begin = lane * base + std::min(lane, rem);
-  end = begin + base + (lane < rem ? 1 : 0);
+// Pools whose job bodies the calling thread is currently inside, innermost
+// last. A vector (not a single pointer) so same-thread chains across pools
+// — a thread inside an A body dispatches on B, and B's lane-0 body (still
+// this thread) dispatches on A again — detect the ancestor and run inline
+// instead of deadlocking on A's completion latch. Cross-thread cycles (A's
+// worker blocking on B while B's worker blocks on A) are undetectable from
+// thread-local state and stay forbidden, as documented in parallel.hpp.
+thread_local std::vector<const ThreadPool*> t_active_pools;
+
+struct ActivePoolScope {
+  explicit ActivePoolScope(const ThreadPool* pool) {
+    t_active_pools.push_back(pool);
+  }
+  ~ActivePoolScope() { t_active_pools.pop_back(); }
+};
+
+bool inside_pool(const ThreadPool* pool) {
+  return std::find(t_active_pools.begin(), t_active_pools.end(), pool) !=
+         t_active_pools.end();
 }
 
 }  // namespace
+
+void shard_range(std::size_t n, std::size_t parts, std::size_t part,
+                 std::size_t& begin, std::size_t& end) {
+  const std::size_t base = n / parts;
+  const std::size_t rem = n % parts;
+  begin = part * base + std::min(part, rem);
+  end = begin + base + (part < rem ? 1 : 0);
+}
 
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested > 0) return requested;
@@ -51,7 +70,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_lane(std::size_t lane) {
   if (lane < job_parts_) {
     std::size_t begin, end;
-    lane_range(job_n_, job_parts_, lane, begin, end);
+    shard_range(job_n_, job_parts_, lane, begin, end);
+    const ActivePoolScope scope(this);  // nested dispatches run inline
     try {
       (*body_)(begin, end);
     } catch (...) {
@@ -80,15 +100,28 @@ void ThreadPool::worker_loop(std::size_t lane) {
   }
 }
 
+bool ThreadPool::on_pool_thread() const { return inside_pool(this); }
+
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   FRLFI_CHECK(static_cast<bool>(body));
   if (n == 0) return;
-  const std::size_t parts = std::min(n, lanes_);
-  if (parts <= 1) {
+  // Nested dispatch: this thread is already running a job of this pool
+  // (its siblings occupy the other lanes), so blocking on cv_done_ could
+  // never be satisfied — run the whole body inline instead.
+  if (inside_pool(this)) {
     body(0, n);
     return;
   }
+  const std::size_t parts = std::min(n, lanes_);
+  if (parts <= 1) {
+    const ActivePoolScope scope(this);
+    body(0, n);
+    return;
+  }
+  // One in-flight job at a time; concurrent external dispatchers queue up
+  // here (pool workers never reach this lock — they took the inline path).
+  std::lock_guard<std::mutex> dispatch_lk(dispatch_mu_);
   {
     std::lock_guard<std::mutex> lk(mu_);
     body_ = &body;
@@ -116,6 +149,30 @@ void ThreadPool::parallel_for(
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(0);
   return pool;
+}
+
+void dispatch_lanes(std::size_t threads, std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body) {
+  FRLFI_CHECK(static_cast<bool>(body));
+  if (n == 0) return;
+  // Resolve exactly once per dispatch (one FRLFI_NUM_THREADS read).
+  const std::size_t resolved = threads == 1 ? 1 : resolve_thread_count(threads);
+  const std::size_t lanes = std::min(resolved, n);
+  if (lanes <= 1) {
+    body(0, n);
+    return;
+  }
+  if (threads == 0 && resolved == ThreadPool::global().size()) {
+    // Auto mode reuses the process-wide pool so back-to-back campaigns
+    // don't pay thread spawn/join each time. The global pool's lane count
+    // is pinned at its first use, so FRLFI_NUM_THREADS is re-read on
+    // every call here and a changed environment falls through to an
+    // explicit pool of the freshly resolved size instead.
+    ThreadPool::global().parallel_for(n, body);
+  } else {
+    ThreadPool pool(lanes);
+    pool.parallel_for(n, body);
+  }
 }
 
 }  // namespace frlfi

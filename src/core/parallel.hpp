@@ -6,15 +6,27 @@
 /// of worker threads, with the caller participating as lane 0.
 ///
 /// Thread count resolution (resolve_thread_count): an explicit request wins;
-/// otherwise the FRLFI_NUM_THREADS environment variable; otherwise
-/// std::thread::hardware_concurrency().
+/// otherwise the FRLFI_NUM_THREADS environment variable (re-read on every
+/// call, so callers that resolve per dispatch pick up changes); otherwise
+/// std::thread::hardware_concurrency(). Note that ThreadPool::global() sizes
+/// itself by resolve_thread_count() once, at first use, and keeps that lane
+/// count for the life of the process — setting FRLFI_NUM_THREADS afterwards
+/// does not resize it (run_campaign compensates by re-resolving per call and
+/// spinning an explicit pool when the global pool's size no longer matches).
 ///
-/// The pool is deliberately minimal: one dispatcher at a time (parallel_for
-/// is not re-entrant and must not be called from two threads at once), and
-/// static contiguous partitioning — the right shape for exchangeable trials
-/// whose cost is roughly uniform. Exceptions thrown by the body are
-/// captured and the first one is rethrown on the dispatching thread after
-/// every lane has finished.
+/// The pool uses static contiguous partitioning — the right shape for
+/// exchangeable trials whose cost is roughly uniform. Exceptions thrown by
+/// the body are captured and the first one is rethrown on the dispatching
+/// thread after every lane has finished.
+///
+/// Re-entrancy and concurrent dispatch: parallel_for called from a thread
+/// that is already executing a job of the *same* pool (a worker lane, or
+/// the dispatching thread's own lane-0 body) runs the nested body inline on
+/// that thread — nested parallelism degrades to sequential instead of
+/// deadlocking on the pool's completion latch, so sharded forwards compose
+/// with parallel campaigns. Distinct external threads dispatching on one
+/// pool are serialized through an internal mutex (dispatches on distinct
+/// pools must not form a waiting cycle).
 
 #include <condition_variable>
 #include <cstddef>
@@ -28,8 +40,26 @@
 namespace frlfi {
 
 /// Resolve an effective worker-lane count. `requested` > 0 is taken as-is;
-/// 0 consults FRLFI_NUM_THREADS, then hardware_concurrency(), floored at 1.
+/// 0 consults FRLFI_NUM_THREADS (read afresh on every call), then
+/// hardware_concurrency(), floored at 1.
 std::size_t resolve_thread_count(std::size_t requested = 0);
+
+/// Contiguous static partition of [0, n) into `parts` ranges: part `part`
+/// gets [begin, end), the first n % parts parts taking one extra element.
+/// The same split parallel_for uses; exposed so batch sharding and tests
+/// can reproduce lane boundaries exactly.
+void shard_range(std::size_t n, std::size_t parts, std::size_t part,
+                 std::size_t& begin, std::size_t& end);
+
+/// Run body(begin, end) over [0, n) under the campaign thread policy —
+/// the one rule shared by run_campaign and the batched evaluation
+/// campaign. `threads` == 1: strictly serial on the calling thread; 0:
+/// FRLFI_NUM_THREADS / hardware resolved afresh on this call, reusing the
+/// process-wide pool only while its pinned lane count still matches the
+/// resolved one (otherwise an explicit pool of the resolved size); N:
+/// an explicit pool of min(N, n) lanes. Never more lanes than n.
+void dispatch_lanes(std::size_t threads, std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
 
 /// Fixed-size thread pool executing blocking parallel_for dispatches.
 class ThreadPool {
@@ -49,10 +79,23 @@ class ThreadPool {
   /// Run body(begin, end) over a static partition of [0, n) across the
   /// lanes and block until every lane is done. The body must be safe to
   /// call concurrently on disjoint ranges. Rethrows the first exception.
+  ///
+  /// Safe to call from inside a body already running on this pool (nested
+  /// dispatch runs inline on the calling thread) and from several external
+  /// threads at once (serialized); see the file comment.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
-  /// Process-wide shared pool, sized by resolve_thread_count() on first use.
+  /// True when the calling thread is currently executing a parallel_for
+  /// body of this pool (worker lane or the dispatcher's lane 0) — i.e. a
+  /// parallel_for issued right now would run inline.
+  bool on_pool_thread() const;
+
+  /// Process-wide shared pool, sized by resolve_thread_count() at first
+  /// use and *pinned* at that lane count for the rest of the process;
+  /// later FRLFI_NUM_THREADS changes do not resize it. Callers that must
+  /// honour a changed environment (run_campaign does) re-resolve per call
+  /// and fall back to an explicit pool on mismatch.
   static ThreadPool& global();
 
  private:
@@ -61,6 +104,9 @@ class ThreadPool {
 
   std::size_t lanes_;
   std::vector<std::thread> workers_;
+  // Serializes whole dispatches from distinct external threads; never
+  // taken by the inline nested path.
+  std::mutex dispatch_mu_;
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;

@@ -258,7 +258,7 @@ Network DroneFrlSystem::consensus_network() const {
 
 double DroneFrlSystem::evaluate_inference_fault(
     const InferenceFaultScenario& scenario, std::size_t episodes_per_drone,
-    std::uint64_t seed) {
+    std::uint64_t seed, std::size_t threads) {
   Network policy = consensus_network();
   Rng fault_rng = Rng(seed).split(0xFA53);
 
@@ -266,37 +266,32 @@ double DroneFrlSystem::evaluate_inference_fault(
       scenario.spec.model == FaultModel::TransientSingleStep;
   if (!trans1) apply_static_inference_fault(policy, scenario, fault_rng);
 
+  // Static corruption: one policy serves every drone, so each decision
+  // step batches all still-flying drones' observations into a single
+  // forward, and episodes fan across worker lanes with per-lane env and
+  // policy ownership. Trans-1 corrupts the lane's private clone at a
+  // per-drone random step instead (no shared forward per step).
+  BatchedCampaignSpec spec;
+  spec.episodes = episodes_per_drone;
+  spec.agents = cfg_.n_drones;
+  spec.max_steps = cfg_.env.max_steps;
+  spec.seed = seed;
+  spec.rng_salt = 0xE7A2;
+  spec.threads = threads;
+  spec.activation_detector = scenario.detector;
+  if (trans1) spec.trans1 = &scenario;
+  const std::vector<double> distances = run_batched_inference_campaign(
+      policy, spec,
+      [this](std::size_t i) {
+        return std::make_unique<DroneNavEnv>(seed_ ^ (0xD60E'0000ULL + i),
+                                             cfg_.env, DroneCamera::Options{});
+      },
+      [](std::size_t, const Environment& env, const EpisodeStats&) {
+        return static_cast<const DroneNavEnv&>(env).flight_distance();
+      });
   double total = 0.0;
-  if (trans1) {
-    // Trans-1 corrupts the shared weights at a per-lane random step, so
-    // lanes cannot share one forward; stays on the serial path.
-    for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
-      Rng eval_rng = Rng(seed).split(0xE7A2 + i);
-      for (std::size_t e = 0; e < episodes_per_drone; ++e) {
-        greedy_episode_trans1(policy, *envs_[i], eval_rng, cfg_.env.max_steps,
-                              scenario);
-        total += envs_[i]->flight_distance();
-      }
-    }
-  } else {
-    // Static corruption: one policy serves every drone, so each decision
-    // step batches all still-flying drones' observations into a single
-    // forward. Per-lane env/rng streams are exactly the serial ones.
-    std::vector<Environment*> lanes;
-    std::vector<Rng> rngs;
-    for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
-      lanes.push_back(envs_[i].get());
-      rngs.emplace_back(Rng(seed).split(0xE7A2 + i));
-    }
-    for (std::size_t e = 0; e < episodes_per_drone; ++e) {
-      greedy_episodes_batched(policy, lanes, rngs, cfg_.env.max_steps,
-                              scenario.detector);
-      for (std::size_t i = 0; i < cfg_.n_drones; ++i)
-        total += envs_[i]->flight_distance();
-    }
-  }
-  return total /
-         static_cast<double>(cfg_.n_drones * episodes_per_drone);
+  for (const double d : distances) total += d;
+  return total / static_cast<double>(distances.size());
 }
 
 DroneFrlSystem::Snapshot DroneFrlSystem::snapshot() const {

@@ -93,9 +93,16 @@ class DroneFrlSystem {
 
   /// Evaluate inference under a fault scenario on the consensus policy;
   /// returns average safe flight distance [m].
+  ///
+  /// Runs as a batched inference campaign: every episode batches all
+  /// still-flying drones' observations into one forward per decision step,
+  /// and episodes fan across `threads` worker lanes (1 = serial, 0 =
+  /// FRLFI_NUM_THREADS / hardware, N = exactly N), each lane owning
+  /// private environments and a private policy clone. Bit-identical for
+  /// every `threads` value (see run_batched_inference_campaign).
   double evaluate_inference_fault(const InferenceFaultScenario& scenario,
                                   std::size_t episodes_per_drone,
-                                  std::uint64_t seed);
+                                  std::uint64_t seed, std::size_t threads = 1);
 
   /// Capture / restore training state.
   Snapshot snapshot() const;

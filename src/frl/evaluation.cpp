@@ -29,7 +29,7 @@ EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
 std::vector<EpisodeStats> greedy_episodes_batched(
     Network& policy, const std::vector<Environment*>& envs,
     std::vector<Rng>& rngs, std::size_t max_steps,
-    const RangeAnomalyDetector* activation_detector) {
+    const RangeAnomalyDetector* activation_detector, ThreadPool* pool) {
   const std::size_t lanes = envs.size();
   FRLFI_CHECK_MSG(lanes >= 1 && rngs.size() == lanes && max_steps >= 1,
                   "batched greedy: " << lanes << " envs, " << rngs.size()
@@ -79,17 +79,17 @@ std::vector<EpisodeStats> greedy_episodes_batched(
     for (std::size_t a = 0; a < nb; ++a)
       std::copy_n(obs[active[a]].data().begin(), sample,
                   batch.data().begin() + static_cast<std::ptrdiff_t>(a * sample));
-    const Tensor logits = policy.forward_batch(batch, nb);
+    const Tensor logits = policy.forward_batch(batch, nb, pool);
     const std::size_t width = logits.size() / nb;
     std::vector<std::size_t> still_active;
     still_active.reserve(nb);
     for (std::size_t a = 0; a < nb; ++a) {
       const std::size_t i = active[a];
-      // Row-wise argmax with the Tensor::argmax tie rule (lowest index).
-      const float* row = logits.data().data() + a * width;
-      std::size_t action = 0;
-      for (std::size_t j = 1; j < width; ++j)
-        if (row[j] > row[action]) action = j;
+      // Shared row argmax: the single action-selection rule (ties and NaN
+      // -> lowest index), exactly Tensor::argmax, so a fault-corrupted
+      // policy's NaN/Inf logits pick the same action as the serial path.
+      const std::size_t action =
+          argmax_row(logits.data().data() + a * width, width);
       StepResult r = envs[i]->step(action, rngs[i]);
       stats[i].total_reward += r.reward;
       ++stats[i].steps;
@@ -167,6 +167,63 @@ InjectionReport apply_static_inference_fault(
   const InjectionReport report = corrupt_policy(policy, scenario, rng);
   if (scenario.detector) scenario.detector->scan_and_suppress(policy);
   return report;
+}
+
+std::vector<double> run_batched_inference_campaign(
+    const Network& policy, const BatchedCampaignSpec& spec,
+    const std::function<std::unique_ptr<Environment>(std::size_t)>& make_env,
+    const std::function<double(std::size_t, const Environment&,
+                               const EpisodeStats&)>& metric) {
+  FRLFI_CHECK_MSG(spec.episodes >= 1 && spec.agents >= 1 && spec.max_steps >= 1,
+                  "batched campaign: " << spec.episodes << " episodes, "
+                                       << spec.agents << " agents");
+  FRLFI_CHECK(static_cast<bool>(make_env) && static_cast<bool>(metric));
+  std::vector<double> metrics(spec.episodes * spec.agents);
+  const Rng base(spec.seed);
+
+  // One worker lane: private policy clone (the activation hook slot and
+  // Trans-1's in-place corruption are per-network state) and private
+  // environments, built once and reused across the lane's whole trial
+  // range. Trial streams depend only on (seed, salt, agent, trial), so any
+  // partition of trials over lanes produces identical bits.
+  const auto run_trials = [&](std::size_t t_begin, std::size_t t_end) {
+    Network lane_policy = policy.clone();
+    std::vector<std::unique_ptr<Environment>> lane_envs;
+    std::vector<Environment*> lanes;
+    lane_envs.reserve(spec.agents);
+    for (std::size_t a = 0; a < spec.agents; ++a) {
+      lane_envs.push_back(make_env(a));
+      FRLFI_CHECK_MSG(lane_envs.back() != nullptr, "make_env returned null");
+      lanes.push_back(lane_envs.back().get());
+    }
+    std::vector<Rng> rngs(spec.agents, Rng(0));
+    for (std::size_t t = t_begin; t < t_end; ++t) {
+      for (std::size_t a = 0; a < spec.agents; ++a)
+        rngs[a] = base.split(spec.rng_salt + a).split(t);
+      if (spec.trans1 != nullptr) {
+        // Per-agent random-step corruption cannot share one forward: run
+        // the agents serially on the lane's private clone (the restore
+        // guard inside greedy_episode_trans1 heals it between agents).
+        for (std::size_t a = 0; a < spec.agents; ++a) {
+          const EpisodeStats stats =
+              greedy_episode_trans1(lane_policy, *lanes[a], rngs[a],
+                                    spec.max_steps, *spec.trans1);
+          metrics[t * spec.agents + a] = metric(a, *lanes[a], stats);
+        }
+      } else {
+        const std::vector<EpisodeStats> stats = greedy_episodes_batched(
+            lane_policy, lanes, rngs, spec.max_steps,
+            spec.activation_detector);
+        for (std::size_t a = 0; a < spec.agents; ++a)
+          metrics[t * spec.agents + a] = metric(a, *lanes[a], stats[a]);
+      }
+    }
+  };
+
+  // Same pool policy as run_campaign (serial / global / explicit,
+  // FRLFI_NUM_THREADS re-resolved per call) via the shared rule.
+  dispatch_lanes(spec.threads, spec.episodes, run_trials);
+  return metrics;
 }
 
 }  // namespace frlfi

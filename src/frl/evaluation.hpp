@@ -6,8 +6,11 @@
 /// weight corruption before the run), and Trans-1 (a read-register fault
 /// at one random action step).
 
+#include <functional>
+#include <memory>
 #include <optional>
 
+#include "core/parallel.hpp"
 #include "fault/injector.hpp"
 #include "mitigation/range_detector.hpp"
 #include "nn/network.hpp"
@@ -37,10 +40,16 @@ EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
 /// elements suppressed to zero) before the next layer runs; the policy's
 /// activation hook carries the screen for the duration of the call and any
 /// caller-installed hook is restored afterwards.
+///
+/// A non-null `pool` shards each decision step's forward_batch across the
+/// pool's lanes (Network::forward_batch's sharded path — bit-identical to
+/// the unsharded call for every thread count); safe even when the caller is
+/// itself a pool worker, where the nested dispatch runs inline.
 std::vector<EpisodeStats> greedy_episodes_batched(
     Network& policy, const std::vector<Environment*>& envs,
     std::vector<Rng>& rngs, std::size_t max_steps,
-    const RangeAnomalyDetector* activation_detector = nullptr);
+    const RangeAnomalyDetector* activation_detector = nullptr,
+    ThreadPool* pool = nullptr);
 
 /// Configuration for an inference fault campaign on a deployed policy.
 ///
@@ -86,5 +95,56 @@ EpisodeStats greedy_episode_trans1(Network& policy, Environment& env, Rng& rng,
 InjectionReport apply_static_inference_fault(Network& policy,
                                              const InferenceFaultScenario& scenario,
                                              Rng& rng);
+
+/// A campaign of batched greedy-inference trials: `episodes` independent
+/// trials, each running one greedy episode per agent with all agents'
+/// decision steps batched through a single forward per step (the lockstep
+/// lane runner), fanned across the `core/parallel` pool.
+///
+/// Trial e / agent a consumes the stream Rng(seed).split(rng_salt +
+/// a).split(e) — independent across trials, so trials are exchangeable and
+/// the campaign is embarrassingly parallel: results are bit-identical for
+/// every `threads` value (each worker lane owns a private environment set
+/// and policy clone; metrics are folded in trial order by the caller from
+/// the returned trial-major vector).
+struct BatchedCampaignSpec {
+  /// Independent trials (one batched episode over all agents each).
+  std::size_t episodes = 1;
+  /// Lockstep lanes batched per decision step.
+  std::size_t agents = 1;
+  /// Per-episode step cap.
+  std::size_t max_steps = 1;
+  /// Base seed for the per-(agent, trial) streams.
+  std::uint64_t seed = 0;
+  /// Salt mixed into each agent's stream tag (keeps the per-agent streams
+  /// aligned with the historical serial evaluators' split tags).
+  std::uint64_t rng_salt = 0xE7A1;
+  /// Campaign fan-out: 1 = serial on the calling thread; 0 = the shared
+  /// global pool (FRLFI_NUM_THREADS re-resolved per call, as run_campaign
+  /// does); N = an explicit pool of N lanes. Any choice yields the same
+  /// bits. Nested use from inside a pool worker degrades to inline.
+  std::size_t threads = 1;
+  /// Optional per-step batched activation screen (see
+  /// greedy_episodes_batched); ignored for Trans-1 trials.
+  const RangeAnomalyDetector* activation_detector = nullptr;
+  /// When set, each trial runs greedy_episode_trans1 per agent under this
+  /// scenario (per-agent random-step weight corruption on the lane's
+  /// private policy clone) instead of the batched lockstep step.
+  const InferenceFaultScenario* trans1 = nullptr;
+};
+
+/// Run the campaign. `make_env(a)` builds a fresh environment equivalent
+/// to agent a's (each worker lane materializes its own set — environments
+/// are stateful and never shared across lanes; the policy is cloned per
+/// lane for the same reason, so `policy` itself is never mutated).
+/// `metric(a, env, stats)` maps agent a's finished episode (the
+/// environment still holds its terminal state) to the scalar of interest.
+/// Returns episodes x agents metrics indexed [trial * agents + agent] —
+/// deterministic in (spec, policy parameters) regardless of `threads`.
+std::vector<double> run_batched_inference_campaign(
+    const Network& policy, const BatchedCampaignSpec& spec,
+    const std::function<std::unique_ptr<Environment>(std::size_t)>& make_env,
+    const std::function<double(std::size_t, const Environment&,
+                               const EpisodeStats&)>& metric);
 
 }  // namespace frlfi

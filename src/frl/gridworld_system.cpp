@@ -244,7 +244,7 @@ double GridWorldFrlSystem::consensus_action_stddev() const {
 
 double GridWorldFrlSystem::evaluate_inference_fault(
     const InferenceFaultScenario& scenario, std::size_t attempts_per_agent,
-    std::uint64_t seed) {
+    std::uint64_t seed, std::size_t threads) {
   Network policy = consensus_network();
   Rng fault_rng = Rng(seed).split(0xFA52);
 
@@ -252,42 +252,32 @@ double GridWorldFrlSystem::evaluate_inference_fault(
       scenario.spec.model == FaultModel::TransientSingleStep;
   if (!trans1) apply_static_inference_fault(policy, scenario, fault_rng);
 
+  // One consensus policy serves every agent: each attempt batches all
+  // agents' decision steps into a single forward per step (the all-Dense
+  // gridworld policy makes the batched logits bit-identical to the serial
+  // loop), and attempts fan across worker lanes, each owning a private
+  // environment set. Trans-1 attempts run the per-agent random-step
+  // corruption serially within their lane instead.
+  BatchedCampaignSpec spec;
+  spec.episodes = attempts_per_agent;
+  spec.agents = cfg_.n_agents;
+  spec.max_steps = cfg_.learner.max_steps;
+  spec.seed = seed;
+  spec.rng_salt = 0xE7A1;
+  spec.threads = threads;
+  spec.activation_detector = scenario.detector;
+  if (trans1) spec.trans1 = &scenario;
+  const std::vector<double> successes = run_batched_inference_campaign(
+      policy, spec,
+      [this](std::size_t a) {
+        return std::make_unique<GridWorldEnv>(envs_[a]->layout(), cfg_.env);
+      },
+      [](std::size_t, const Environment&, const EpisodeStats& stats) {
+        return stats.success ? 1.0 : 0.0;
+      });
   double total = 0.0;
-  if (trans1) {
-    // Per-lane random-step weight corruption cannot share one forward.
-    for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
-      Rng eval_rng = Rng(seed).split(0xE7A1 + i);
-      std::size_t successes = 0;
-      for (std::size_t a = 0; a < attempts_per_agent; ++a) {
-        const EpisodeStats stats = greedy_episode_trans1(
-            policy, *envs_[i], eval_rng, cfg_.learner.max_steps, scenario);
-        successes += stats.success ? 1 : 0;
-      }
-      total += static_cast<double>(successes) /
-               static_cast<double>(attempts_per_agent);
-    }
-  } else {
-    // One consensus policy serves every agent: batch all agents' decision
-    // steps into a single forward per step. The all-Dense gridworld policy
-    // makes the batched logits bit-identical to the serial loop.
-    std::vector<Environment*> lanes;
-    std::vector<Rng> rngs;
-    for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
-      lanes.push_back(envs_[i].get());
-      rngs.emplace_back(Rng(seed).split(0xE7A1 + i));
-    }
-    std::vector<std::size_t> successes(cfg_.n_agents, 0);
-    for (std::size_t a = 0; a < attempts_per_agent; ++a) {
-      const std::vector<EpisodeStats> stats = greedy_episodes_batched(
-          policy, lanes, rngs, cfg_.learner.max_steps, scenario.detector);
-      for (std::size_t i = 0; i < cfg_.n_agents; ++i)
-        successes[i] += stats[i].success ? 1 : 0;
-    }
-    for (std::size_t i = 0; i < cfg_.n_agents; ++i)
-      total += static_cast<double>(successes[i]) /
-               static_cast<double>(attempts_per_agent);
-  }
-  return total / static_cast<double>(cfg_.n_agents);
+  for (const double s : successes) total += s;
+  return total / static_cast<double>(successes.size());
 }
 
 GridWorldFrlSystem::Snapshot GridWorldFrlSystem::snapshot() const {

@@ -99,9 +99,16 @@ class GridWorldFrlSystem {
   /// Evaluate inference under a fault scenario: corrupts a copy of the
   /// consensus policy (static injection; Trans-1 handled per-episode) and
   /// returns the average success rate over all agents' environments.
+  ///
+  /// Runs as a batched inference campaign (each attempt batches all
+  /// agents' decision steps into one forward per step) whose attempts fan
+  /// across `threads` worker lanes with per-lane environment ownership —
+  /// 1 = serial, 0 = FRLFI_NUM_THREADS / hardware, N = exactly N. The
+  /// result is bit-identical for every `threads` value (see
+  /// run_batched_inference_campaign).
   double evaluate_inference_fault(const InferenceFaultScenario& scenario,
                                   std::size_t attempts_per_agent,
-                                  std::uint64_t seed);
+                                  std::uint64_t seed, std::size_t threads = 1);
 
   /// Capture / restore training state (keeps config, RNG stream position
   /// is re-derived from the episode counter).

@@ -209,7 +209,7 @@ Tensor Conv2D::forward_batch_inner(Tensor input, std::size_t batch) {
   // degenerates: gather each sample out of the batch-inner layout and run
   // the per-sample im2col+GEMM kernels instead — the exact forward()
   // compute (bit-identical to it at every geometry), minus its caching.
-  if (batch < 8) {
+  if (batch < kBatchInnerWideKernelMin) {
     thread_local std::vector<float> xs, cols, ys;
     const std::size_t sample = in_c_ * s.h * s.w;
     const std::size_t ncols = oh * ow;

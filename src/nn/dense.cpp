@@ -47,7 +47,7 @@ Tensor Dense::forward_batch_inner(Tensor input, std::size_t batch) {
                   label_ << ": bad batch-inner input " << input.shape_string()
                          << " for batch " << batch);
   Tensor out({out_, batch});
-  if (batch < 8) {
+  if (batch < kBatchInnerWideKernelMin) {
     // Keep the exact gemv chain below the wide-GEMM threshold: gather each
     // sample's strided column, run the per-sample kernel, scatter back.
     // Reused scratch: this path runs per decision step in small-fleet

@@ -27,6 +27,15 @@
 
 namespace frlfi {
 
+/// Batch width at which the batch-inner layers switch from the per-sample
+/// gather kernels to the wide B-stride SIMD kernels (Conv2D's direct
+/// batch-inner convolution, Dense's ordered batched GEMM). Shared between
+/// the layers and Network's batch sharding: a sharded forward keeps every
+/// sub-batch on the same side of this threshold as the undivided batch, so
+/// each element's accumulation chain — and therefore every output bit — is
+/// unchanged by sharding.
+inline constexpr std::size_t kBatchInnerWideKernelMin = 8;
+
 /// A trainable tensor with its gradient accumulator.
 struct Parameter {
   /// Human-readable name, e.g. "dense0.weight".
@@ -76,6 +85,13 @@ class Layer {
   /// by value lets elementwise layers run in place on the moved-in buffer.
   /// Same numeric contract and cache rules as forward_batch. The default
   /// transposes to batch-major, runs forward_batch, and transposes back.
+  ///
+  /// Thread safety: Network's *sharded* forward_batch calls this
+  /// concurrently on one layer object (disjoint sub-batches). Overrides
+  /// must therefore be cache-free and reentrant — per-thread scratch only
+  /// (thread_local, as Conv2D/Dense do). A layer left on this base-class
+  /// default is NOT shardable: the forward_batch fallback writes the
+  /// per-sample backward caches.
   virtual Tensor forward_batch_inner(Tensor input, std::size_t batch);
 
   /// Trainable parameters (possibly empty). Pointers remain valid for the

@@ -1,9 +1,12 @@
 #include "nn/network.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 
 namespace frlfi {
 
@@ -39,18 +42,71 @@ Tensor Network::forward(const Tensor& input) {
   return x;
 }
 
-Tensor Network::forward_batch(const Tensor& input, std::size_t batch) {
+std::size_t batch_shard_count(std::size_t batch, std::size_t lanes) {
+  if (lanes <= 1 || batch <= 1) return 1;
+  const std::size_t max_shards = batch >= kBatchInnerWideKernelMin
+                                     ? batch / kBatchInnerWideKernelMin
+                                     : batch;
+  return std::min(lanes, max_shards);
+}
+
+Tensor Network::forward_batch(const Tensor& input, std::size_t batch,
+                              ThreadPool* pool) {
   FRLFI_CHECK_MSG(!layers_.empty(), "forward_batch on empty network");
   FRLFI_CHECK_MSG(batch >= 1 && input.dim(0) == batch,
                   "bad batch input " << input.shape_string());
-  // One transpose into batch-innermost layout, the whole stack on the
-  // fast batch-inner kernels, one transpose back.
-  Tensor x = batch_to_inner(input, batch);
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    x = layers_[i]->forward_batch_inner(std::move(x), batch);
-    if (activation_hook_) activation_hook_(i, x);
+  const std::size_t shards =
+      pool ? batch_shard_count(batch, pool->size()) : 1;
+  if (shards <= 1) {
+    // One transpose into batch-innermost layout, the whole stack on the
+    // fast batch-inner kernels, one transpose back.
+    Tensor x = batch_to_inner(input, batch);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      x = layers_[i]->forward_batch_inner(std::move(x), batch);
+      if (activation_hook_) activation_hook_(i, x);
+    }
+    return batch_to_major(x, batch);
   }
-  return batch_to_major(x, batch);
+  // Sharded path: each lane takes a contiguous slice of batch-major rows,
+  // transposes it to batch-inner, runs the whole stack on its own tensors
+  // (per-lane workspace — nothing below this loop is shared but the
+  // read-only weights and the hook), and transposes back. Shard outputs
+  // are stitched afterwards so no lane writes into a shared buffer.
+  const std::size_t sample = input.size() / batch;
+  const std::vector<std::size_t> sample_shape(input.shape().begin() + 1,
+                                              input.shape().end());
+  std::vector<Tensor> shard_out(shards);
+  pool->parallel_for(shards, [&](std::size_t s_begin, std::size_t s_end) {
+    for (std::size_t s = s_begin; s < s_end; ++s) {
+      std::size_t b0, b1;
+      shard_range(batch, shards, s, b0, b1);
+      const std::size_t nb = b1 - b0;
+      std::vector<std::size_t> sub_shape{nb};
+      sub_shape.insert(sub_shape.end(), sample_shape.begin(),
+                       sample_shape.end());
+      Tensor sub(std::move(sub_shape));
+      std::copy_n(input.data().begin() + static_cast<std::ptrdiff_t>(b0 * sample),
+                  nb * sample, sub.data().begin());
+      Tensor x = batch_to_inner(sub, nb);
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        x = layers_[i]->forward_batch_inner(std::move(x), nb);
+        if (activation_hook_) activation_hook_(i, x);
+      }
+      shard_out[s] = batch_to_major(x, nb);
+    }
+  });
+  std::vector<std::size_t> out_shape = shard_out[0].shape();
+  out_shape[0] = batch;
+  const std::size_t out_sample = shard_out[0].size() / shard_out[0].dim(0);
+  Tensor out(std::move(out_shape));
+  std::size_t row = 0;
+  for (const Tensor& part : shard_out) {
+    std::copy_n(part.data().begin(), part.size(),
+                out.data().begin() +
+                    static_cast<std::ptrdiff_t>(row * out_sample));
+    row += part.dim(0);
+  }
+  return out;
 }
 
 Tensor Network::backward(const Tensor& grad_output) {

@@ -16,6 +16,8 @@
 
 namespace frlfi {
 
+class ThreadPool;
+
 /// A stack of layers executed in order. Movable, deep-clonable.
 class Network {
  public:
@@ -61,7 +63,26 @@ class Network {
   /// (C,H,W,B)/(features,B) — which elementwise consumers like the range
   /// screen scan in one pass over the whole batch. Backward caches are
   /// untouched except through the default per-sample fallback.
-  Tensor forward_batch(const Tensor& input, std::size_t batch);
+  ///
+  /// With a non-null `pool`, the batch is sharded into contiguous
+  /// per-lane sub-batches and the full layer stack runs per shard across
+  /// the pool — bit-identical to the unsharded call for every thread
+  /// count, because the batch-inner kernels are width-independent and the
+  /// shard planner never moves a sub-batch across the wide-kernel
+  /// threshold (see kBatchInnerWideKernelMin and batch_shard_count). Each
+  /// lane owns its shard's tensors and scratch end to end; the activation
+  /// hook is then invoked once per (layer, shard), possibly concurrently,
+  /// with that shard's batch-inner activations — hooks must be
+  /// thread-safe under sharding (the range screen's elementwise suppressor
+  /// is). Precondition of the sharded path: every layer's
+  /// forward_batch_inner must be safe to call concurrently on the same
+  /// layer object — true for all in-tree layers, but NOT for a layer
+  /// relying on the Layer base-class default, which falls back through
+  /// per-sample forward() and mutates the backward caches (see
+  /// layer.hpp). Calling this from inside a pool job is safe: the nested
+  /// dispatch runs inline (see parallel.hpp).
+  Tensor forward_batch(const Tensor& input, std::size_t batch,
+                       ThreadPool* pool = nullptr);
 
   /// Run backward from dLoss/dOutput; accumulates parameter gradients and
   /// returns dLoss/dInput.
@@ -99,5 +120,14 @@ class Network {
   mutable std::vector<Parameter*> param_cache_;
   mutable bool param_cache_valid_ = false;
 };
+
+/// Sub-batch count a sharded Network::forward_batch uses for `batch`
+/// samples on `lanes` pool lanes. Capped so no sub-batch crosses the
+/// layers' wide-kernel threshold relative to the undivided batch: every
+/// shard of a batch >= kBatchInnerWideKernelMin stays >= it (same wide
+/// kernels, whose per-element chains are width-independent), and a batch
+/// below it only splits into per-sample work the gather kernels already do
+/// sample-by-sample — so sharding can never change a bit.
+std::size_t batch_shard_count(std::size_t batch, std::size_t lanes);
 
 }  // namespace frlfi

@@ -171,10 +171,19 @@ float Tensor::max() const {
   return *std::max_element(data_.begin(), data_.end());
 }
 
+std::size_t argmax_row(const float* row, std::size_t n) {
+  FRLFI_CHECK(n >= 1);
+  // Strict-> scan, the std::max_element(<) rule written out: NaN candidates
+  // compare unordered and never win; a NaN incumbent is never displaced.
+  std::size_t best = 0;
+  for (std::size_t j = 1; j < n; ++j)
+    if (row[j] > row[best]) best = j;
+  return best;
+}
+
 std::size_t Tensor::argmax() const {
   FRLFI_CHECK(!empty());
-  return static_cast<std::size_t>(
-      std::distance(data_.begin(), std::max_element(data_.begin(), data_.end())));
+  return argmax_row(data_.data(), size());
 }
 
 float Tensor::mean() const {

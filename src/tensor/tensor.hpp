@@ -109,7 +109,8 @@ class Tensor {
   /// Largest element; requires non-empty.
   float max() const;
 
-  /// Index of the largest element; requires non-empty. Ties -> lowest index.
+  /// Index of the largest element; requires non-empty. Ties -> lowest
+  /// index. Exactly argmax_row over the flat data — see its NaN contract.
   std::size_t argmax() const;
 
   /// Mean of elements; 0 for empty.
@@ -139,5 +140,14 @@ class Tensor {
   std::size_t checked_offset4(std::size_t n, std::size_t ch, std::size_t r,
                               std::size_t c) const;
 };
+
+/// Argmax over `row[0..n)` with Tensor::argmax's exact semantics: a
+/// candidate wins only under a strict IEEE `>` against the incumbent, so
+/// ties and *unordered* comparisons keep the lowest index. In particular a
+/// NaN never displaces an incumbent, and a leading NaN (every comparison
+/// against it is unordered) wins the whole row — the single tie/NaN rule
+/// every action-selection site must share, so a fault-corrupted policy
+/// picks the same action on the batched and single-sample paths. n >= 1.
+std::size_t argmax_row(const float* row, std::size_t n);
 
 }  // namespace frlfi

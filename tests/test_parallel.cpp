@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/error.hpp"
 
 namespace frlfi {
@@ -116,6 +118,121 @@ TEST(Parallel, GlobalPoolIsUsable) {
     count.fetch_add(e - b);
   });
   EXPECT_EQ(count.load(), 16u);
+}
+
+TEST(Parallel, ShardRangeIsContiguousPartition) {
+  for (const std::size_t n : {1u, 7u, 10u, 64u}) {
+    for (const std::size_t parts : {1u, 2u, 3u, 7u}) {
+      if (parts > n) continue;
+      std::size_t expect_begin = 0;
+      for (std::size_t p = 0; p < parts; ++p) {
+        std::size_t b, e;
+        shard_range(n, parts, p, b, e);
+        EXPECT_EQ(b, expect_begin);
+        EXPECT_LT(b, e);
+        expect_begin = e;
+      }
+      EXPECT_EQ(expect_begin, n);
+    }
+  }
+}
+
+// Regression: a nested dispatch from inside a pool body used to block on
+// cv_done_ forever (the nested generation could never be picked up by the
+// lanes already running the outer body). It must run inline instead.
+TEST(Parallel, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  std::atomic<std::size_t> inline_nested{0};
+  pool.parallel_for(4, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      EXPECT_TRUE(pool.on_pool_thread());
+      pool.parallel_for(8, [&](std::size_t ib, std::size_t ie) {
+        inner_total.fetch_add(ie - ib);
+      });
+      inline_nested.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 4u * 8u);
+  EXPECT_EQ(inline_nested.load(), 4u);
+  EXPECT_FALSE(pool.on_pool_thread());
+  // Pool still healthy after the nested dispatches.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(16, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(e - b);
+  });
+  EXPECT_EQ(count.load(), 16u);
+}
+
+TEST(Parallel, SameThreadChainAcrossPoolsRunsInline) {
+  // One external thread chains dispatches A -> B -> A. The second
+  // A-dispatch happens on a thread already inside an A body (this one),
+  // so it must detect the ancestor pool on its own stack and run inline.
+  // (Cross-THREAD cycles — a worker of A waiting on B while a worker of B
+  // waits on A — remain forbidden; see parallel.hpp.)
+  ThreadPool a(2), b(2);
+  std::atomic<std::size_t> total{0};
+  a.parallel_for(1, [&](std::size_t, std::size_t) {
+    // Single-part dispatch: runs inline on this thread with A active.
+    b.parallel_for(2, [&](std::size_t, std::size_t) {
+      EXPECT_TRUE(b.on_pool_thread());
+      if (!a.on_pool_thread()) return;  // b's worker thread: A not active
+      a.parallel_for(4, [&](std::size_t ib, std::size_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    });
+  });
+  EXPECT_EQ(total.load(), 4u);
+}
+
+TEST(Parallel, NestedGlobalPoolAndCampaignDoNotDeadlock) {
+  // run_campaign with threads == 0 dispatches on the global pool; called
+  // from inside a global-pool body it must complete inline.
+  std::atomic<std::size_t> trials_run{0};
+  ThreadPool::global().parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      CampaignConfig cfg{.seed = 7, .trials = 5, .threads = 0};
+      const CampaignResult r = run_campaign(cfg, [&](Rng& rng) {
+        trials_run.fetch_add(1);
+        return rng.uniform();
+      });
+      EXPECT_EQ(r.stats.count(), 5u);
+    }
+  });
+  EXPECT_EQ(trials_run.load(), 8u * 5u);
+}
+
+TEST(Parallel, ConcurrentExternalDispatchersAreSerialized) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  std::vector<std::thread> dispatchers;
+  for (int d = 0; d < 4; ++d) {
+    dispatchers.emplace_back([&] {
+      for (int round = 0; round < 25; ++round)
+        pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+          total.fetch_add(e - b);
+        });
+    });
+  }
+  for (auto& t : dispatchers) t.join();
+  EXPECT_EQ(total.load(), 4u * 25u * 8u);
+}
+
+TEST(Parallel, CampaignReresolvesEnvThreadsPerCall) {
+  // The global pool's lane count pins at first use, but run_campaign must
+  // re-read FRLFI_NUM_THREADS per call and still produce serial-identical
+  // stats (via an explicit pool when the global size no longer matches).
+  ThreadPool::global().size();  // force the pin
+  const auto trial = [](Rng& rng) { return rng.uniform(); };
+  CampaignConfig serial{.seed = 11, .trials = 40, .threads = 1};
+  const CampaignResult want = run_campaign(serial, trial);
+  setenv("FRLFI_NUM_THREADS", "3", 1);
+  CampaignConfig env_auto{.seed = 11, .trials = 40, .threads = 0};
+  const CampaignResult got = run_campaign(env_auto, trial);
+  unsetenv("FRLFI_NUM_THREADS");
+  EXPECT_EQ(want.stats.count(), got.stats.count());
+  EXPECT_EQ(want.stats.mean(), got.stats.mean());
+  EXPECT_EQ(want.stats.variance(), got.stats.variance());
 }
 
 }  // namespace
