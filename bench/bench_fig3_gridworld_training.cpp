@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   GridSweepConfig cfg;
   cfg.trials = args.trials;
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
   if (args.fast) {
     cfg.episodes = 500;
     cfg.columns = {0, 250, 450};

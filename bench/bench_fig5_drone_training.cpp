@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   DroneSweepConfig cfg;
   cfg.trials = args.trials;
   cfg.seed = args.seed;
+  cfg.threads = args.threads;
   if (args.fast) {
     cfg.episodes = 60;
     cfg.bers = {0.0, 1e-2, 1e-1};

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   gcfg.mitigation = true;
   gcfg.trials = args.trials;
   gcfg.seed = args.seed;
+  gcfg.threads = args.threads;
   if (args.fast) {
     gcfg.episodes = 500;
     gcfg.columns = {0, 250, 450};
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   dcfg.mitigation = true;
   dcfg.trials = args.trials;
   dcfg.seed = args.seed;
+  dcfg.threads = args.threads;
   if (args.fast) {
     dcfg.episodes = 60;
     dcfg.bers = {0.0, 1e-2, 1e-1};

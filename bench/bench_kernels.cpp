@@ -8,6 +8,10 @@
 ///  * sharded batched inference: a B x threads sweep of forward_batch
 ///    split across a ThreadPool, with a bit-identity check against the
 ///    unsharded forward (wall-clock speedup needs multi-core hardware),
+///  * batched Trans-1: one corrupted read per agent, old per-lane
+///    clone+mutate+restore vs the overlay plane (per-lane weight views
+///    through one grouped forward_batch), with a bit-identity check and
+///    the per-lane memory footprint of both,
 ///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
 ///    1000-trial campaign, with a bit-identity check on the stats.
 ///
@@ -27,6 +31,8 @@
 
 #include "core/campaign.hpp"
 #include "core/parallel.hpp"
+#include "fault/injector.hpp"
+#include "fault/overlay.hpp"
 #include "frl/policies.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/network.hpp"
@@ -87,6 +93,12 @@ struct ShardedRow {
   double us = 0.0, speedup = 0.0;  // vs the same batch on 1 thread
   bool identical = false;          // bit-identical to the unsharded forward
 };
+struct Trans1Row {
+  std::size_t agents = 0;
+  double clone_us = 0.0, overlay_us = 0.0, speedup = 0.0;
+  std::size_t clone_bytes = 0, overlay_bytes = 0;  // per-lane fault state
+  bool identical = false;  // overlay logits == clone-and-mutate logits
+};
 struct Report {
   bool quick = false;
   std::vector<ConvRow> conv_forward;
@@ -94,6 +106,7 @@ struct Report {
   std::vector<MatmulRow> matmul;
   std::vector<BatchedRow> batched;
   std::vector<ShardedRow> sharded;
+  std::vector<Trans1Row> trans1;
   CampaignRow campaign;
 };
 
@@ -284,6 +297,104 @@ bool bench_sharded(double min_time, Report& report) {
   return all_identical;
 }
 
+// Trans-1 evaluation step at the drone policy: every agent takes one
+// corrupted weight read. Old path — per agent, snapshot + in-place
+// fixed-point corruption + restore on a private clone, then B serial
+// forwards. New path — per agent, a sparse overlay against the shared
+// deployed image, then ONE forward_batch where each lane reads its own
+// corrupted weights through a view. Logits must agree bit-for-bit.
+bool bench_trans1(double min_time, Report& report) {
+  std::printf(
+      "\n== Batched Trans-1: per-lane clone+mutate (old) vs weight-view "
+      "overlays (new) ==\n");
+  std::printf(
+      "(drone policy, every agent striking in one decision step, "
+      "microseconds per step)\n");
+  std::printf("%-8s %12s %12s %8s %12s %14s %14s\n", "agents", "clone us",
+              "overlay us", "speedup", "clone B/lane", "overlay B/lane",
+              "bit-identical");
+  Rng rng(13);
+  Network net = make_drone_policy(rng);
+  const std::vector<float> clean = net.flat_parameters();
+  const FixedPointFormat format = FixedPointFormat::q1_7_8();
+  const DeployedWeights deployed =
+      DeployedWeights::fixed_point_image(clean, format);
+  FaultSpec spec;
+  spec.model = FaultModel::TransientSingleStep;
+  spec.ber = 1e-3;
+  bool all_identical = true;
+  for (const std::size_t agents : {std::size_t{4}, std::size_t{16}}) {
+    Rng xr(14);
+    const Tensor xb =
+        Tensor::random_uniform({agents, 3, 18, 32}, xr, 0.0f, 1.0f);
+    const std::size_t sample = 3 * 18 * 32;
+
+    // Old path. The per-strike RNG stream is (seed, agent)-derived, as a
+    // campaign's per-(agent, trial) streams are.
+    Network lane = net.clone();
+    std::vector<Tensor> clone_logits(agents);
+    const auto run_clone_path = [&] {
+      for (std::size_t a = 0; a < agents; ++a) {
+        Tensor obs({3, 18, 32});
+        std::copy_n(
+            xb.data().begin() + static_cast<std::ptrdiff_t>(a * sample),
+            sample, obs.data().begin());
+        WeightRestoreGuard guard(lane);
+        std::vector<float> flat = lane.flat_parameters();
+        Rng strike = Rng(99).split(a);
+        inject_fixed_point(flat, format, spec, strike);
+        lane.set_flat_parameters(flat);
+        clone_logits[a] = lane.forward(obs);
+      }
+    };
+    const double t_clone = time_per_call(min_time, run_clone_path);
+
+    // New path: same strikes as overlays, one grouped batched forward.
+    std::vector<WeightOverlay> overlays(agents);
+    std::vector<WeightView> views(agents);
+    std::vector<const WeightView*> lane_views(agents);
+    Tensor overlay_logits;
+    std::size_t overlay_entries = 0;
+    const auto run_overlay_path = [&] {
+      for (std::size_t a = 0; a < agents; ++a) {
+        Rng strike = Rng(99).split(a);
+        deployed.inject(spec, strike, overlays[a]);
+        views[a] = deployed.view(&overlays[a]);
+        lane_views[a] = &views[a];
+      }
+      overlay_logits = net.forward_batch(xb, agents, nullptr, lane_views);
+    };
+    const double t_overlay = time_per_call(min_time, run_overlay_path);
+    for (std::size_t a = 0; a < agents; ++a)
+      overlay_entries += overlays[a].size();
+
+    const std::size_t width = overlay_logits.size() / agents;
+    bool identical = true;
+    for (std::size_t a = 0; a < agents && identical; ++a)
+      for (std::size_t j = 0; j < width && identical; ++j)
+        identical = overlay_logits[a * width + j] == clone_logits[a][j];
+    all_identical = all_identical && identical;
+
+    // Per-lane fault state: the old path pins a full parameter clone (plus
+    // the restore snapshot) per concurrent lane; the overlay is the sparse
+    // (index, value) list alone.
+    const std::size_t clone_bytes = clean.size() * sizeof(float) * 2;
+    const std::size_t overlay_bytes =
+        overlay_entries == 0
+            ? 0
+            : (overlay_entries * (sizeof(std::size_t) + sizeof(float))) /
+                  agents;
+    report.trans1.push_back({agents, t_clone * 1e6, t_overlay * 1e6,
+                             t_clone / t_overlay, clone_bytes, overlay_bytes,
+                             identical});
+    std::printf("%-8zu %12.2f %12.2f %7.2fx %12zu %14zu %14s\n", agents,
+                t_clone * 1e6, t_overlay * 1e6, t_clone / t_overlay,
+                clone_bytes, overlay_bytes,
+                identical ? "YES" : "NO  <-- BUG");
+  }
+  return all_identical;
+}
+
 // Emit the collected measurements as JSON (hand-rolled: flat schema, ASCII
 // labels only) so CI and future PRs can diff kernel performance.
 void write_json(const Report& r, const char* path) {
@@ -336,6 +447,19 @@ void write_json(const Report& r, const char* path) {
                  row.batch, row.threads, row.shards, row.us, row.speedup,
                  row.identical ? "true" : "false",
                  i + 1 < r.sharded.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"trans1_batched\": [\n");
+  for (std::size_t i = 0; i < r.trans1.size(); ++i) {
+    const auto& row = r.trans1[i];
+    std::fprintf(f,
+                 "    {\"agents\": %zu, \"clone_us_per_step\": %.4f, "
+                 "\"overlay_us_per_step\": %.4f, \"speedup\": %.3f, "
+                 "\"clone_bytes_per_lane\": %zu, "
+                 "\"overlay_bytes_per_lane\": %zu, \"bit_identical\": %s}%s\n",
+                 row.agents, row.clone_us, row.overlay_us, row.speedup,
+                 row.clone_bytes, row.overlay_bytes,
+                 row.identical ? "true" : "false",
+                 i + 1 < r.trans1.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
@@ -446,9 +570,11 @@ int main(int argc, char** argv) {
   frlfi::bench_matmul(min_time, report);
   frlfi::bench_batched(min_time, report);
   // Nonzero exit on a determinism regression so the CI smoke run fails —
-  // both the campaign reduction and the sharded-forward bit-identity.
+  // the campaign reduction, the sharded-forward bit-identity, and the
+  // Trans-1 overlay-vs-clone bit-identity.
   const bool sharded_ok = frlfi::bench_sharded(min_time, report);
+  const bool trans1_ok = frlfi::bench_trans1(min_time, report);
   const bool identical = frlfi::bench_campaign(trials, threads, report);
   frlfi::write_json(report, "BENCH_kernels.json");
-  return identical && sharded_ok ? 0 : 1;
+  return identical && sharded_ok && trans1_ok ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 ///                1000 for GridWorld and 100 for DroneNav)
 ///   --seed=N     base seed (default 42)
 ///   --fast       cut sweep resolution for smoke runs
+///   --threads=N  worker lanes for pool-parallel campaign cells
+///                (default 1 = serial; 0 = FRLFI_NUM_THREADS / hardware)
 /// and prints the table/figure it reproduces with paper-vs-measured notes.
 
 #include <cstdint>
@@ -19,6 +21,9 @@ struct BenchArgs {
   std::size_t trials = 1;
   std::uint64_t seed = 42;
   bool fast = false;
+  /// Campaign-cell fan-out (heatmap sweeps): 1 serial, 0 auto, N explicit.
+  /// Results are bit-identical for every value.
+  std::size_t threads = 1;
 
   /// Parse argv; unknown flags abort with a usage message.
   static BenchArgs parse(int argc, char** argv);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/campaign.hpp"
 #include "core/stats.hpp"
 
 namespace frlfi::bench {
@@ -51,41 +52,48 @@ Heatmap run_drone_training_sweep(const DroneSweepConfig& cfg) {
 
   const DroneFrlSystem::Config sys_cfg = bench_drone_config(cfg.n_drones);
 
-  for (std::size_t r = 0; r < bers.size(); ++r) {
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      RunningStats cell;
-      for (std::size_t t = 0; t < cfg.trials; ++t) {
-        DroneFrlSystem sys(sys_cfg, cfg.seed + 1000 * t);
-        if (bers[r] > 0.0) {
-          TrainingFaultPlan plan;
-          plan.active = true;
-          plan.spec.site = cfg.site;
-          plan.spec.model = FaultModel::TransientPersistent;
-          plan.spec.ber = bers[r];
-          plan.spec.episode = columns[c];
-          sys.set_fault_plan(plan);
+  // Cells are independent (same seeds per cell regardless of lane; the
+  // offline pretraining is shared through the thread-safe per-key cache),
+  // so the grid fans across the pool with thread-count-invariant metrics.
+  const std::vector<double> cell_means = run_cell_campaign(
+      bers.size() * columns.size(), cfg.threads, [&](std::size_t cell) {
+        const std::size_t r = cell / columns.size();
+        const std::size_t c = cell % columns.size();
+        RunningStats stats;
+        for (std::size_t t = 0; t < cfg.trials; ++t) {
+          DroneFrlSystem sys(sys_cfg, cfg.seed + 1000 * t);
+          if (bers[r] > 0.0) {
+            TrainingFaultPlan plan;
+            plan.active = true;
+            plan.spec.site = cfg.site;
+            plan.spec.model = FaultModel::TransientPersistent;
+            plan.spec.ber = bers[r];
+            plan.spec.episode = columns[c];
+            sys.set_fault_plan(plan);
+          }
+          if (cfg.mitigation) {
+            MitigationPlan mit;
+            mit.enabled = true;
+            mit.detector.drop_percent = 25.0;
+            // Paper: k=200 of 6000 episodes (~3.3%); scale to the budget.
+            mit.detector.consecutive_episodes =
+                std::max<std::size_t>(4, cfg.episodes / 30);
+            mit.detector.warmup_episodes = 10;
+            sys.set_mitigation(mit);
+          }
+          sys.train(cfg.episodes);
+          // Give the detector its (k + recovery) window for late faults;
+          // see the matching note in gridworld_sweeps.cpp.
+          if (cfg.mitigation)
+            sys.train(3 * std::max<std::size_t>(4, cfg.episodes / 30));
+          stats.add(sys.evaluate_flight_distance(cfg.eval_episodes,
+                                                 cfg.seed + 7777 + t));
         }
-        if (cfg.mitigation) {
-          MitigationPlan mit;
-          mit.enabled = true;
-          mit.detector.drop_percent = 25.0;
-          // Paper: k=200 of 6000 episodes (~3.3%); scale to the budget.
-          mit.detector.consecutive_episodes =
-              std::max<std::size_t>(4, cfg.episodes / 30);
-          mit.detector.warmup_episodes = 10;
-          sys.set_mitigation(mit);
-        }
-        sys.train(cfg.episodes);
-        // Give the detector its (k + recovery) window for late faults;
-        // see the matching note in gridworld_sweeps.cpp.
-        if (cfg.mitigation)
-          sys.train(3 * std::max<std::size_t>(4, cfg.episodes / 30));
-        cell.add(sys.evaluate_flight_distance(cfg.eval_episodes,
-                                              cfg.seed + 7777 + t));
-      }
-      map.set(r, c, cell.mean());
-    }
-  }
+        return stats.mean();
+      });
+  for (std::size_t r = 0; r < bers.size(); ++r)
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      map.set(r, c, cell_means[r * columns.size() + c]);
   return map;
 }
 

@@ -32,6 +32,10 @@ struct DroneSweepConfig {
   std::size_t eval_episodes = 4;
   std::size_t trials = 1;
   std::uint64_t seed = 42;
+  /// Worker lanes for the (BER x episode) cell grid (run_cell_campaign:
+  /// 1 serial, 0 auto, N explicit). Cells share only the thread-safe
+  /// pretraining cache, so metrics are bit-identical for every value.
+  std::size_t threads = 1;
   /// Enable mitigation (Fig. 7b); paper parameters p=25, k=200 (k scaled).
   bool mitigation = false;
 };

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/campaign.hpp"
 #include "core/stats.hpp"
 
 namespace frlfi::bench {
@@ -53,43 +54,49 @@ Heatmap run_gridworld_training_sweep(const GridSweepConfig& cfg) {
   GridWorldFrlSystem::Config sys_cfg;
   sys_cfg.n_agents = cfg.n_agents;
 
-  for (std::size_t r = 0; r < bers.size(); ++r) {
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      RunningStats cell;
-      for (std::size_t t = 0; t < cfg.trials; ++t) {
-        GridWorldFrlSystem sys(sys_cfg, cfg.seed + 1000 * t);
-        TrainingFaultPlan plan;
-        plan.active = true;
-        plan.spec.site = cfg.site;
-        plan.spec.model = FaultModel::TransientPersistent;
-        plan.spec.ber = bers[r] / 100.0;
-        plan.spec.episode = columns[c];
-        sys.set_fault_plan(plan);
-        if (cfg.mitigation) {
-          MitigationPlan mit;
-          mit.enabled = true;
-          mit.detector.drop_percent = 25.0;
-          // Paper: k=50 of 1000 episodes; scale k to the episode budget.
-          mit.detector.consecutive_episodes =
-              std::max<std::size_t>(5, cfg.episodes / 20);
-          sys.set_mitigation(mit);
+  // Every (BER, episode) cell trains its own systems from its own seeds —
+  // no shared mutable state — so the grid fans across the pool and the
+  // cell-order metrics are thread-count invariant.
+  const std::vector<double> cell_means = run_cell_campaign(
+      bers.size() * columns.size(), cfg.threads, [&](std::size_t cell) {
+        const std::size_t r = cell / columns.size();
+        const std::size_t c = cell % columns.size();
+        RunningStats stats;
+        for (std::size_t t = 0; t < cfg.trials; ++t) {
+          GridWorldFrlSystem sys(sys_cfg, cfg.seed + 1000 * t);
+          TrainingFaultPlan plan;
+          plan.active = true;
+          plan.spec.site = cfg.site;
+          plan.spec.model = FaultModel::TransientPersistent;
+          plan.spec.ber = bers[r] / 100.0;
+          plan.spec.episode = columns[c];
+          sys.set_fault_plan(plan);
+          if (cfg.mitigation) {
+            MitigationPlan mit;
+            mit.enabled = true;
+            mit.detector.drop_percent = 25.0;
+            // Paper: k=50 of 1000 episodes; scale k to the episode budget.
+            mit.detector.consecutive_episodes =
+                std::max<std::size_t>(5, cfg.episodes / 20);
+            sys.set_mitigation(mit);
+          }
+          sys.train(cfg.episodes);
+          // The §V-A scheme needs k consecutive degraded episodes to
+          // detect a fault and a few more to recover from the checkpoint;
+          // for late-injected faults that window extends past the nominal
+          // budget, so the mitigated runs keep flying while the detector
+          // finishes its job (the mission does not stop at an arbitrary
+          // episode count in the paper's protocol either).
+          if (cfg.mitigation)
+            sys.train(2 * std::max<std::size_t>(5, cfg.episodes / 20));
+          stats.add(100.0 * sys.evaluate_success_rate(cfg.eval_attempts,
+                                                      cfg.seed + 7777 + t));
         }
-        sys.train(cfg.episodes);
-        // The §V-A scheme needs k consecutive degraded episodes to detect
-        // a fault and a few more to recover from the checkpoint; for
-        // late-injected faults that window extends past the nominal
-        // budget, so the mitigated runs keep flying while the detector
-        // finishes its job (the mission does not stop at an arbitrary
-        // episode count in the paper's protocol either).
-        if (cfg.mitigation)
-          sys.train(2 * std::max<std::size_t>(5, cfg.episodes / 20));
-        cell.add(100.0 *
-                 sys.evaluate_success_rate(cfg.eval_attempts,
-                                           cfg.seed + 7777 + t));
-      }
-      map.set(r, c, cell.mean());
-    }
-  }
+        return stats.mean();
+      });
+  for (std::size_t r = 0; r < bers.size(); ++r)
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      map.set(r, c, cell_means[r * columns.size() + c]);
   return map;
 }
 

@@ -32,6 +32,11 @@ struct GridSweepConfig {
   /// Repetitions per cell.
   std::size_t trials = 1;
   std::uint64_t seed = 42;
+  /// Worker lanes for the (BER x episode) cell grid — cells build and
+  /// train independent systems, so the sweep is pool-parallel over them
+  /// (run_cell_campaign: 1 serial, 0 auto, N explicit; metrics are
+  /// bit-identical for every value).
+  std::size_t threads = 1;
   /// Enable server checkpointing + reward-drop detection (Fig. 7a);
   /// paper parameters p=25, k=50 (k scaled to the episode budget).
   bool mitigation = false;

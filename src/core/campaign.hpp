@@ -32,8 +32,11 @@ struct CampaignConfig {
   /// still matches; see ThreadPool::global()); any other value is used
   /// as-is. With more than one lane `trial_fn` is invoked concurrently and
   /// must not mutate shared state. Nested use — trial_fn itself calling
-  /// run_campaign or ThreadPool::parallel_for — degrades to inline
-  /// execution instead of deadlocking (see parallel.hpp).
+  /// run_campaign or ThreadPool::parallel_for — never deadlocks: dispatch
+  /// on the *same* pool (the threads==0 global-pool path, or a sharded
+  /// forward handed the outer pool) runs inline, while a nested explicit
+  /// thread count spins its own short-lived pool — real extra threads, so
+  /// avoid stacking explicit counts at both levels (see parallel.hpp).
   std::size_t threads = 1;
 };
 
@@ -50,5 +53,17 @@ struct CampaignResult {
 /// bit-for-bit; see the file comment.
 CampaignResult run_campaign(const CampaignConfig& cfg,
                             const std::function<double(Rng&)>& trial_fn);
+
+/// Parallel map over an indexed grid of independent cells — the outer
+/// loop of the training-phase heatmap sweeps, where each cell builds and
+/// trains whole FRL systems. `cell_fn(c)` must depend only on its index
+/// (plus thread-safe shared state: the drone pretraining cache is), so
+/// the returned cell-order metrics are bit-identical for every thread
+/// policy. `threads` follows the campaign rule (dispatch_lanes): 1 =
+/// strictly serial on the calling thread, 0 = FRLFI_NUM_THREADS /
+/// hardware re-resolved on this call, N = an explicit pool of N lanes.
+std::vector<double> run_cell_campaign(
+    std::size_t cells, std::size_t threads,
+    const std::function<double(std::size_t)>& cell_fn);
 
 }  // namespace frlfi

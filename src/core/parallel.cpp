@@ -115,6 +115,13 @@ void ThreadPool::parallel_for(
   }
   const std::size_t parts = std::min(n, lanes_);
   if (parts <= 1) {
+    // Degenerate dispatch: runs inline on the caller, touching no shared
+    // job state, and deliberately takes no lock — blocking on
+    // dispatch_mu_ here could deadlock a cross-pool nesting (an inner
+    // pool's worker dispatching back on an outer pool mid-dispatch) that
+    // the inline paths otherwise keep live. Like the nested path above,
+    // it is therefore NOT mutually excluded with other dispatches; see
+    // the serialization note in parallel.hpp.
     const ActivePoolScope scope(this);
     body(0, n);
     return;

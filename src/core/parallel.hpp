@@ -24,9 +24,15 @@
 /// the dispatching thread's own lane-0 body) runs the nested body inline on
 /// that thread — nested parallelism degrades to sequential instead of
 /// deadlocking on the pool's completion latch, so sharded forwards compose
-/// with parallel campaigns. Distinct external threads dispatching on one
-/// pool are serialized through an internal mutex (dispatches on distinct
-/// pools must not form a waiting cycle).
+/// with parallel campaigns. Distinct external threads dispatching
+/// *multi-lane* jobs on one pool are serialized through an internal mutex,
+/// which protects the pool's shared job state (dispatches on distinct
+/// pools must not form a waiting cycle). Dispatches that degrade to
+/// inline — nested ones, and single-part jobs (n or lane count <= 1) —
+/// touch no shared job state, take no lock, and are therefore NOT
+/// mutually excluded with other dispatches: a body that callers may
+/// dispatch concurrently must tolerate concurrent full-range execution,
+/// not just disjoint ranges.
 
 #include <condition_variable>
 #include <cstddef>
@@ -82,7 +88,8 @@ class ThreadPool {
   ///
   /// Safe to call from inside a body already running on this pool (nested
   /// dispatch runs inline on the calling thread) and from several external
-  /// threads at once (serialized); see the file comment.
+  /// threads at once (multi-lane jobs serialized; inline-degraded ones
+  /// run unserialized); see the file comment.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& body);
 

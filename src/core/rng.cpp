@@ -11,6 +11,14 @@ inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
+/// One SplitMix64 absorption step: fold `tag` into `h`. The single seed
+/// mix behind split(), derive_stream() and mix_tags() — their documented
+/// "same absorption" invariant holds because they all call this.
+inline std::uint64_t absorb_tag(std::uint64_t h, std::uint64_t tag) {
+  SplitMix64 sm(h ^ (0x9E3779B97F4A7C15ULL * (tag + 1)));
+  return sm.next();
+}
+
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) : seed_origin_(seed) {
@@ -109,11 +117,25 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::split(std::uint64_t tag) const {
-  // Mix the original seed with the tag through SplitMix64; independent of
-  // how much of the parent stream has been consumed, so split() is stable
-  // regardless of call ordering elsewhere.
-  SplitMix64 sm(seed_origin_ ^ (0x9E3779B97F4A7C15ULL * (tag + 1)));
-  return Rng(sm.next());
+  // Mix the original seed with the tag; independent of how much of the
+  // parent stream has been consumed, so split() is stable regardless of
+  // call ordering elsewhere.
+  return Rng(absorb_tag(seed_origin_, tag));
+}
+
+Rng Rng::derive_stream(std::initializer_list<std::uint64_t> components) const {
+  Rng child = *this;
+  for (const std::uint64_t c : components) child = child.split(c);
+  return child;
+}
+
+std::uint64_t Rng::mix_tags(std::uint64_t seed,
+                            std::initializer_list<std::uint64_t> components) {
+  // The exact absorption derive_stream's seed chain performs, exposed as a
+  // plain tag for map keys and similar non-stream uses.
+  std::uint64_t h = seed;
+  for (const std::uint64_t c : components) h = absorb_tag(h, c);
+  return h;
 }
 
 }  // namespace frlfi

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 namespace frlfi {
@@ -82,6 +83,21 @@ class Rng {
   /// Derive an independent child stream. Children with distinct tags are
   /// statistically independent of the parent and of each other.
   Rng split(std::uint64_t tag) const;
+
+  /// Derive the child stream identified by an ordered component list —
+  /// exactly split(c0).split(c1)..., so existing chained-split streams
+  /// (e.g. the per-(salt+agent, trial) evaluation streams) keep their
+  /// bits. One call for hierarchical keys instead of ad-hoc chains.
+  Rng derive_stream(std::initializer_list<std::uint64_t> components) const;
+
+  /// Mix an ordered component list into one well-distributed 64-bit tag
+  /// (iterated SplitMix64 absorption, the same mix split() uses). The
+  /// shared replacement for hand-rolled shift/XOR packings — e.g. the
+  /// pretraining cache key's old `a << 32 ^ b << 44`, whose wide
+  /// components overflow into each other's bit ranges and collide.
+  /// Order-sensitive: mix_tags(s, {a, b}) != mix_tags(s, {b, a}).
+  static std::uint64_t mix_tags(std::uint64_t seed,
+                                std::initializer_list<std::uint64_t> components);
 
   /// Fisher-Yates shuffle.
   template <typename T>

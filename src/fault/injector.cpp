@@ -8,17 +8,15 @@
 #include "numeric/quantize.hpp"
 
 namespace frlfi {
-namespace {
 
-/// Apply the spec's temporal model to an integer byte buffer.
-std::size_t corrupt_bytes(std::span<std::uint8_t> bytes, const FaultSpec& spec,
-                          Rng& rng) {
+std::size_t corrupt_bits(std::span<std::uint8_t> bytes, const FaultSpec& spec,
+                         Rng& rng) {
   switch (spec.model) {
     case FaultModel::TransientSingleStep:
     case FaultModel::TransientPersistent:
       // Temporal scope (one read vs. until-overwritten) is handled by the
-      // caller (WeightRestoreGuard / training overwrite); the bit-level
-      // action is the same flip.
+      // caller (WeightRestoreGuard / overlay lifetime / training
+      // overwrite); the bit-level action is the same flip.
       return flip_bits_ber(bytes, spec.ber, rng, spec.direction);
     case FaultModel::StuckAt0:
       return stick_bits_ber(bytes, spec.ber, false, rng);
@@ -27,8 +25,6 @@ std::size_t corrupt_bytes(std::span<std::uint8_t> bytes, const FaultSpec& spec,
   }
   return 0;
 }
-
-}  // namespace
 
 std::size_t flip_bits_ber(std::span<std::uint8_t> bytes, double ber, Rng& rng,
                           FlipDirection direction) {
@@ -91,9 +87,39 @@ InjectionReport inject_int8(std::vector<float>& weights, const FaultSpec& spec,
   auto bytes = std::span<std::uint8_t>(
       reinterpret_cast<std::uint8_t*>(qs.data()), qs.size());
   report.bits_total = bit_count(bytes);
-  report.bits_flipped = corrupt_bytes(bytes, spec, rng);
+  report.bits_flipped = corrupt_bits(bytes, spec, rng);
   weights = q.dequantize(qs);
   return report;
+}
+
+FixedPointFlipper::FixedPointFlipper(const FaultSpec& spec, int word_bits)
+    : ber_(spec.ber),
+      word_bits_(word_bits),
+      // Resolve the model/direction once: the per-word filter is "keep
+      // only flips of currently-set bits", "only currently-clear bits",
+      // or both.
+      only_set_bits_(
+          spec.model == FaultModel::StuckAt0 ||
+          ((spec.model == FaultModel::TransientSingleStep ||
+            spec.model == FaultModel::TransientPersistent) &&
+           spec.direction == FlipDirection::OneToZero)),
+      only_clear_bits_(
+          spec.model == FaultModel::StuckAt1 ||
+          ((spec.model == FaultModel::TransientSingleStep ||
+            spec.model == FaultModel::TransientPersistent) &&
+           spec.direction == FlipDirection::ZeroToOne)) {}
+
+std::uint32_t FixedPointFlipper::flip_mask(std::uint32_t raw, Rng& rng) const {
+  // Draw one Bernoulli per bit (the same stream the reference consumes,
+  // so results are bit-identical), collect the hits into a mask, and
+  // filter it against the whole word at once — no per-bit flip/branch
+  // chain.
+  std::uint32_t mask = 0;
+  for (int b = 0; b < word_bits_; ++b)
+    if (rng.bernoulli(ber_)) mask |= 1u << b;
+  if (only_set_bits_) mask &= raw;
+  if (only_clear_bits_) mask &= ~raw;
+  return mask;
 }
 
 InjectionReport inject_fixed_point(std::vector<float>& weights,
@@ -104,30 +130,11 @@ InjectionReport inject_fixed_point(std::vector<float>& weights,
   const FixedPointCodec codec(format);
   const int word_bits = format.word_bits();
   report.bits_total = weights.size() * static_cast<std::size_t>(word_bits);
-  // Resolve the model/direction once: the per-word filter is "keep only
-  // flips of currently-set bits", "only currently-clear bits", or both.
-  const bool only_set_bits =
-      spec.model == FaultModel::StuckAt0 ||
-      ((spec.model == FaultModel::TransientSingleStep ||
-        spec.model == FaultModel::TransientPersistent) &&
-       spec.direction == FlipDirection::OneToZero);
-  const bool only_clear_bits =
-      spec.model == FaultModel::StuckAt1 ||
-      ((spec.model == FaultModel::TransientSingleStep ||
-        spec.model == FaultModel::TransientPersistent) &&
-       spec.direction == FlipDirection::ZeroToOne);
+  const FixedPointFlipper flipper(spec, word_bits);
   for (auto& w : weights) {
     std::uint32_t raw = codec.encode(w);
-    // Draw one Bernoulli per bit (the same stream the reference consumes,
-    // so results are bit-identical), collect the hits into a mask, filter
-    // it against the whole word at once, and apply a single XOR — no
-    // per-bit flip/branch chain.
-    std::uint32_t mask = 0;
-    for (int b = 0; b < word_bits; ++b)
-      if (rng.bernoulli(spec.ber)) mask |= 1u << b;
+    const std::uint32_t mask = flipper.flip_mask(raw, rng);
     if (mask) {
-      if (only_set_bits) mask &= raw;
-      if (only_clear_bits) mask &= ~raw;
       raw ^= mask;
       report.bits_flipped += static_cast<std::size_t>(std::popcount(mask));
     }

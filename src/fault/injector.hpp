@@ -14,18 +14,11 @@
 
 #include "core/rng.hpp"
 #include "fault/model.hpp"
+#include "fault/overlay.hpp"  // InjectionReport + the non-mutating plane
 #include "nn/network.hpp"
 #include "numeric/fixed_point.hpp"
 
 namespace frlfi {
-
-/// Statistics of one injection.
-struct InjectionReport {
-  /// Bits actually flipped (or forced, for stuck-at).
-  std::size_t bits_flipped = 0;
-  /// Total bits in the target buffer.
-  std::size_t bits_total = 0;
-};
 
 /// Flip each bit of the buffer independently with probability `ber`,
 /// honouring the direction constraint (ZeroToOne only flips bits that are
@@ -42,6 +35,33 @@ std::size_t flip_bits_exact(std::span<std::uint8_t> bytes, std::size_t n_flips,
 /// (stuck-at model). Returns the number of bits whose value changed.
 std::size_t stick_bits_ber(std::span<std::uint8_t> bytes, double ber,
                            bool value, Rng& rng);
+
+/// Apply the spec's temporal model (transient flip / stuck-at) to an
+/// integer byte buffer — the single bit-level dispatcher shared by the
+/// in-place int8 injector and DeployedWeights::inject, which is what keeps
+/// their RNG streams aligned. Returns the number of bits changed.
+std::size_t corrupt_bits(std::span<std::uint8_t> bytes, const FaultSpec& spec,
+                         Rng& rng);
+
+/// Per-word flip-mask generator for fixed-point injection: resolves the
+/// spec's temporal model + direction once, then draws one Bernoulli per
+/// bit per word. The single per-word step shared by inject_fixed_point
+/// and DeployedWeights::inject — sharing it is what keeps their RNG
+/// streams (and therefore every flip site) bit-aligned.
+class FixedPointFlipper {
+ public:
+  FixedPointFlipper(const FaultSpec& spec, int word_bits);
+
+  /// Mask of bits to XOR into `raw`, direction/stuck-at filtered, after
+  /// consuming exactly word_bits Bernoulli draws from `rng`.
+  std::uint32_t flip_mask(std::uint32_t raw, Rng& rng) const;
+
+ private:
+  double ber_;
+  int word_bits_;
+  bool only_set_bits_;    // restrict flips to currently-set bits
+  bool only_clear_bits_;  // restrict flips to currently-clear bits
+};
 
 /// Corrupt a float buffer through its int8-quantized representation
 /// according to the spec's model/BER/direction. The buffer is modified in

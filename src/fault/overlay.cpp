@@ -1,0 +1,135 @@
+#include "fault/overlay.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <span>
+
+#include "core/error.hpp"
+#include "fault/injector.hpp"
+#include "numeric/bitutil.hpp"
+#include "numeric/quantize.hpp"
+
+namespace frlfi {
+
+void WeightOverlay::add(std::size_t index, float value) {
+  FRLFI_CHECK_MSG(indices.empty() || index > indices.back(),
+                  "overlay index " << index << " after " << indices.back());
+  indices.push_back(index);
+  values.push_back(value);
+}
+
+void WeightOverlay::apply_to(std::vector<float>& weights) const {
+  for (std::size_t e = 0; e < indices.size(); ++e) {
+    FRLFI_CHECK_MSG(indices[e] < weights.size(),
+                    "overlay index " << indices[e] << " in " << weights.size());
+    weights[indices[e]] = values[e];
+  }
+}
+
+float WeightView::at(std::size_t i) const {
+  FRLFI_CHECK_MSG(i < params, "view index " << i << " in " << params);
+  if (overlay != nullptr) {
+    const auto it =
+        std::lower_bound(overlay->indices.begin(), overlay->indices.end(), i);
+    if (it != overlay->indices.end() && *it == i)
+      return overlay->values[static_cast<std::size_t>(
+          it - overlay->indices.begin())];
+  }
+  return base[i];
+}
+
+const float* WeightView::span(std::size_t offset, std::size_t count,
+                              std::vector<float>& scratch) const {
+  FRLFI_CHECK_MSG(offset + count <= params,
+                  "view span [" << offset << ", " << offset + count << ") in "
+                                << params);
+  if (overlay == nullptr || overlay->empty()) return base + offset;
+  const auto lo = std::lower_bound(overlay->indices.begin(),
+                                   overlay->indices.end(), offset);
+  if (lo == overlay->indices.end() || *lo >= offset + count)
+    return base + offset;
+  scratch.assign(base + offset, base + offset + count);
+  for (auto it = lo; it != overlay->indices.end() && *it < offset + count; ++it)
+    scratch[*it - offset] =
+        overlay->values[static_cast<std::size_t>(it - overlay->indices.begin())];
+  return scratch.data();
+}
+
+WeightView::WeightBias WeightView::weight_bias(
+    std::size_t offset, std::size_t weight_count, std::size_t bias_count,
+    std::vector<float>& weight_scratch, std::vector<float>& bias_scratch) const {
+  return {span(offset, weight_count, weight_scratch),
+          span(offset + weight_count, bias_count, bias_scratch)};
+}
+
+DeployedWeights DeployedWeights::int8_image(const std::vector<float>& weights,
+                                            float headroom) {
+  FRLFI_CHECK_MSG(headroom >= 1.0f, "headroom " << headroom);
+  DeployedWeights d;
+  d.repr_ = Repr::Int8;
+  if (weights.empty()) return d;
+  // Exactly inject_int8's representation: calibrate on the clean weights,
+  // widen by headroom, quantize once.
+  const Int8Quantizer calibrated = Int8Quantizer::calibrate(weights);
+  d.int8_scale_ = calibrated.scale() * headroom;
+  const Int8Quantizer q(d.int8_scale_);
+  d.int8_words_ = q.quantize(weights);
+  d.base_ = q.dequantize(d.int8_words_);
+  return d;
+}
+
+DeployedWeights DeployedWeights::fixed_point_image(
+    const std::vector<float>& weights, const FixedPointFormat& format) {
+  DeployedWeights d;
+  d.repr_ = Repr::Fixed;
+  d.format_ = format;
+  if (weights.empty()) return d;
+  const FixedPointCodec codec(format);
+  d.fixed_words_.reserve(weights.size());
+  d.base_.reserve(weights.size());
+  for (const float w : weights) {
+    const std::uint32_t raw = codec.encode(w);
+    d.fixed_words_.push_back(raw);
+    d.base_.push_back(static_cast<float>(codec.decode(raw)));
+  }
+  return d;
+}
+
+InjectionReport DeployedWeights::inject(const FaultSpec& spec, Rng& rng,
+                                        WeightOverlay& out) const {
+  out.clear();
+  InjectionReport report;
+  if (base_.empty()) return report;
+  if (repr_ == Repr::Int8) {
+    // Same byte stream as inject_int8: corrupt a copy of the clean words
+    // with the shared temporal-model dispatcher, then record the words
+    // that changed.
+    std::vector<std::int8_t> words = int8_words_;
+    auto bytes = std::span<std::uint8_t>(
+        reinterpret_cast<std::uint8_t*>(words.data()), words.size());
+    report.bits_total = bit_count(bytes);
+    report.bits_flipped = corrupt_bits(bytes, spec, rng);
+    const Int8Quantizer q(int8_scale_);
+    for (std::size_t i = 0; i < words.size(); ++i)
+      if (words[i] != int8_words_[i]) out.add(i, q.dequantize(words[i]));
+    return report;
+  }
+  // Fixed point: the same per-word flip-mask generator as
+  // inject_fixed_point, over the precomputed clean encodes — one Bernoulli
+  // per bit in the identical order, so the stream (and therefore every
+  // flip site) matches.
+  const FixedPointCodec codec(format_);
+  const int word_bits = format_.word_bits();
+  report.bits_total = base_.size() * static_cast<std::size_t>(word_bits);
+  const FixedPointFlipper flipper(spec, word_bits);
+  for (std::size_t i = 0; i < fixed_words_.size(); ++i) {
+    const std::uint32_t raw = fixed_words_[i];
+    const std::uint32_t mask = flipper.flip_mask(raw, rng);
+    if (!mask) continue;
+    report.bits_flipped += static_cast<std::size_t>(std::popcount(mask));
+    out.add(i, static_cast<float>(codec.decode(raw ^ mask)));
+  }
+  return report;
+}
+
+}  // namespace frlfi

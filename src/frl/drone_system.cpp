@@ -3,7 +3,10 @@
 #include "frl/persist.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
+#include <memory>
+#include <mutex>
 
 #include "core/error.hpp"
 #include "dronesim/heuristic.hpp"
@@ -13,6 +16,35 @@
 #include "nn/optimizer.hpp"
 
 namespace frlfi {
+namespace {
+
+/// Cache key over every knob pretrain() consumes, absorbed field by field
+/// through the shared tag mixer (floats/doubles by bit pattern). Distinct
+/// configs must never alias one slot — under pool-parallel campaign
+/// cells an alias would make which config wins the call_once fill
+/// thread-schedule dependent. When pretrain() grows a new input, add it
+/// here.
+std::uint64_t pretraining_cache_key(const DroneFrlSystem::Config& cfg,
+                                    std::uint64_t seed) {
+  const auto f = [](float v) {
+    return static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(v));
+  };
+  const auto d = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  const DroneNavEnv::Options& e = cfg.env;
+  const ObstacleWorld::Options& w = e.world;
+  const ReinforceTrainer::Options& l = cfg.learner;
+  return Rng::mix_tags(
+      seed,
+      {cfg.imitation_episodes, cfg.pretrain_reinforce_episodes,
+       f(cfg.imitation_lr), f(l.gamma), f(l.learning_rate), l.max_steps,
+       f(l.baseline_beta), d(e.dt), d(e.max_yaw_step), d(e.min_speed),
+       d(e.max_speed), d(e.max_distance), e.max_steps, f(e.crash_penalty),
+       d(e.body_radius), static_cast<std::uint64_t>(e.randomize_world),
+       e.stall_window_steps, d(e.stall_min_displacement), d(w.cell_size),
+       d(w.density), d(w.min_radius), d(w.max_radius), d(w.spawn_clearance)});
+}
+
+}  // namespace
 
 DroneFrlSystem::Config::Config() {
   // DroneNav flies long episodes; tune the defaults for the task scale.
@@ -28,14 +60,38 @@ DroneFrlSystem::Config::Config() {
 
 const std::vector<float>& DroneFrlSystem::pretrained_parameters(
     const Config& cfg, std::uint64_t seed) {
-  // Cache key: the seed plus the env knobs that change what is learned.
-  static std::map<std::uint64_t, std::vector<float>> cache;
-  const std::uint64_t key =
-      seed ^ (static_cast<std::uint64_t>(cfg.imitation_episodes) << 32) ^
-      (static_cast<std::uint64_t>(cfg.pretrain_reinforce_episodes) << 44);
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  // Cache key: the seed plus every training knob that changes what is
+  // learned (see pretraining_cache_key), absorbed through the shared tag
+  // mixer — the old ad-hoc `<< 32 / << 44` packing let wide components
+  // overflow into each other, and omitted the env/learner knobs entirely.
+  //
+  // Thread safety for pool-parallel campaign cells: the map is guarded by
+  // a mutex held only for slot lookup/insertion, and each slot computes
+  // its parameters under std::call_once — concurrent cells wanting the
+  // same key block until the one computation finishes (never recompute),
+  // while cells with different keys pretrain concurrently. Entries are
+  // never erased and the per-slot vector is heap-stable, so returned
+  // references stay valid for the life of the process.
+  struct CacheEntry {
+    std::once_flag once;
+    std::vector<float> params;
+  };
+  static std::mutex cache_mu;
+  static std::map<std::uint64_t, std::unique_ptr<CacheEntry>> cache;
+  const std::uint64_t key = pretraining_cache_key(cfg, seed);
+  CacheEntry* entry = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mu);
+    std::unique_ptr<CacheEntry>& slot = cache[key];
+    if (slot == nullptr) slot = std::make_unique<CacheEntry>();
+    entry = slot.get();
+  }
+  std::call_once(entry->once, [&] { entry->params = pretrain(cfg, seed); });
+  return entry->params;
+}
 
+std::vector<float> DroneFrlSystem::pretrain(const Config& cfg,
+                                            std::uint64_t seed) {
   Rng rng = Rng(seed).split(0x0FF11E);
   Network net = make_drone_policy(rng);
   DroneNavEnv env(seed ^ 0x0FF11E5EEDULL, cfg.env, DroneCamera::Options{});
@@ -82,9 +138,7 @@ const std::vector<float>& DroneFrlSystem::pretrained_parameters(
     }
   }
 
-  auto [pos, inserted] = cache.emplace(key, net.flat_parameters());
-  FRLFI_CHECK(inserted);
-  return pos->second;
+  return net.flat_parameters();
 }
 
 DroneFrlSystem::DroneFrlSystem(Config cfg, std::uint64_t seed)
@@ -266,11 +320,12 @@ double DroneFrlSystem::evaluate_inference_fault(
       scenario.spec.model == FaultModel::TransientSingleStep;
   if (!trans1) apply_static_inference_fault(policy, scenario, fault_rng);
 
-  // Static corruption: one policy serves every drone, so each decision
-  // step batches all still-flying drones' observations into a single
-  // forward, and episodes fan across worker lanes with per-lane env and
-  // policy ownership. Trans-1 corrupts the lane's private clone at a
-  // per-drone random step instead (no shared forward per step).
+  // One policy serves every drone, so each decision step batches all
+  // still-flying drones' observations into a single forward, and episodes
+  // fan across worker lanes with per-lane env ownership over the shared
+  // read-only policy. Trans-1 joins the same batched step: each drone's
+  // single-read corruption rides a per-lane weight view, so striking and
+  // clean drones share one forward without any clone-and-restore.
   BatchedCampaignSpec spec;
   spec.episodes = episodes_per_drone;
   spec.agents = cfg_.n_drones;

@@ -95,11 +95,12 @@ class DroneFrlSystem {
   /// returns average safe flight distance [m].
   ///
   /// Runs as a batched inference campaign: every episode batches all
-  /// still-flying drones' observations into one forward per decision step,
+  /// still-flying drones' observations into one forward per decision step
+  /// — Trans-1 included, each striking drone riding its own weight view —
   /// and episodes fan across `threads` worker lanes (1 = serial, 0 =
   /// FRLFI_NUM_THREADS / hardware, N = exactly N), each lane owning
-  /// private environments and a private policy clone. Bit-identical for
-  /// every `threads` value (see run_batched_inference_campaign).
+  /// private environments over one shared read-only policy. Bit-identical
+  /// for every `threads` value (see run_batched_inference_campaign).
   double evaluate_inference_fault(const InferenceFaultScenario& scenario,
                                   std::size_t episodes_per_drone,
                                   std::uint64_t seed, std::size_t threads = 1);
@@ -132,11 +133,18 @@ class DroneFrlSystem {
   const Config& config() const { return cfg_; }
 
   /// The (deterministic) pretrained offline parameters for a seed/config;
-  /// computed once per process and cached.
+  /// computed once per process and cached. Thread-safe: concurrent
+  /// campaign cells asking for one key block on a single computation
+  /// (std::call_once per cache slot) while distinct keys pretrain
+  /// concurrently — which is what lets training-phase heatmap campaigns
+  /// run pool-parallel over cells.
   static const std::vector<float>& pretrained_parameters(const Config& cfg,
                                                          std::uint64_t seed);
 
  private:
+  /// Run the offline phase (imitation + REINFORCE polish) from scratch.
+  static std::vector<float> pretrain(const Config& cfg, std::uint64_t seed);
+
   void run_training_episode();
   void communicate_if_due();
   void inject_training_fault_if_due();

@@ -1,6 +1,7 @@
 #include "frl/evaluation.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/error.hpp"
 
@@ -26,10 +27,34 @@ EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
   return stats;
 }
 
-std::vector<EpisodeStats> greedy_episodes_batched(
+namespace {
+
+/// Trans-1 strike plan for the lockstep runner: each lane's fault step
+/// plus the shared deployed image its overlay is computed against.
+struct Trans1Strikes {
+  const DeployedWeights& deployed;
+  const InferenceFaultScenario& scenario;
+  std::vector<std::size_t> fault_step;  // per lane
+  // Detector precomputation (null without a detector): the base's
+  // out-of-range indices, scanned once per campaign so each strike
+  // screens in O(overlay entries).
+  const std::vector<std::size_t>* base_hits = nullptr;
+};
+
+/// The single lockstep lane runner behind greedy_episodes_batched and
+/// greedy_episodes_trans1_batched: one greedy episode per lane over
+/// independent environments, all still-active lanes batched into one
+/// forward per decision step. With a non-null `strikes`, lane i's weights
+/// are corrupted for the single read at strikes->fault_step[i] via a
+/// per-lane weight view (drawn from rngs[i] at that step, exactly where
+/// the serial Trans-1 path consumes it). Keeping both paths on this one
+/// loop is what keeps their lockstep machinery — batch-buffer reuse,
+/// argmax rule, lane retirement — bit-aligned forever.
+std::vector<EpisodeStats> lockstep_episodes(
     Network& policy, const std::vector<Environment*>& envs,
     std::vector<Rng>& rngs, std::size_t max_steps,
-    const RangeAnomalyDetector* activation_detector, ThreadPool* pool) {
+    const RangeAnomalyDetector* activation_detector, ThreadPool* pool,
+    const Trans1Strikes* strikes) {
   const std::size_t lanes = envs.size();
   FRLFI_CHECK_MSG(lanes >= 1 && rngs.size() == lanes && max_steps >= 1,
                   "batched greedy: " << lanes << " envs, " << rngs.size()
@@ -66,6 +91,12 @@ std::vector<EpisodeStats> greedy_episodes_batched(
   }
   const std::size_t sample = obs[0].size();
   Tensor batch;
+  // Per-step strike state; overlays and views are reserved before any
+  // pointer into them is taken, so a striking lane's view stays valid for
+  // the whole forward.
+  std::vector<WeightOverlay> step_overlays;
+  std::vector<WeightView> step_views;
+  std::vector<const WeightView*> lane_views;
   for (std::size_t t = 0; t < max_steps && !active.empty(); ++t) {
     const std::size_t nb = active.size();
     // The lane count only shrinks as episodes finish, so most steps reuse
@@ -76,10 +107,36 @@ std::vector<EpisodeStats> greedy_episodes_batched(
                     obs[active[0]].shape().end());
       batch = Tensor(std::move(bshape));
     }
-    for (std::size_t a = 0; a < nb; ++a)
+    std::size_t striking = 0;
+    for (std::size_t a = 0; a < nb; ++a) {
       std::copy_n(obs[active[a]].data().begin(), sample,
                   batch.data().begin() + static_cast<std::ptrdiff_t>(a * sample));
-    const Tensor logits = policy.forward_batch(batch, nb, pool);
+      if (strikes != nullptr && strikes->fault_step[active[a]] == t)
+        ++striking;
+    }
+    Tensor logits;
+    if (striking > 0) {
+      // Each striking lane draws its own corruption from its own stream
+      // (exactly what the serial path consumes at this step) and rides a
+      // private weight view; the other lanes share the clean forward.
+      step_overlays.clear();
+      step_views.clear();
+      step_overlays.reserve(striking);
+      step_views.reserve(striking);
+      lane_views.assign(nb, nullptr);
+      for (std::size_t a = 0; a < nb; ++a) {
+        const std::size_t i = active[a];
+        if (strikes->fault_step[i] != t) continue;
+        step_overlays.emplace_back();
+        trans1_strike_overlay(strikes->deployed, strikes->scenario, rngs[i],
+                              step_overlays.back(), strikes->base_hits);
+        step_views.push_back(strikes->deployed.view(&step_overlays.back()));
+        lane_views[a] = &step_views.back();
+      }
+      logits = policy.forward_batch(batch, nb, pool, lane_views);
+    } else {
+      logits = policy.forward_batch(batch, nb, pool);
+    }
     const std::size_t width = logits.size() / nb;
     std::vector<std::size_t> still_active;
     still_active.reserve(nb);
@@ -105,6 +162,16 @@ std::vector<EpisodeStats> greedy_episodes_batched(
   return stats;
 }
 
+}  // namespace
+
+std::vector<EpisodeStats> greedy_episodes_batched(
+    Network& policy, const std::vector<Environment*>& envs,
+    std::vector<Rng>& rngs, std::size_t max_steps,
+    const RangeAnomalyDetector* activation_detector, ThreadPool* pool) {
+  return lockstep_episodes(policy, envs, rngs, max_steps, activation_detector,
+                           pool, nullptr);
+}
+
 namespace {
 
 /// Corrupt a policy's weights per the scenario's deployment representation.
@@ -126,6 +193,58 @@ InjectionReport corrupt_policy(Network& policy,
 }
 
 }  // namespace
+
+DeployedWeights make_deployed_weights(const Network& policy,
+                                      const InferenceFaultScenario& scenario) {
+  const std::vector<float> flat = policy.flat_parameters();
+  if (scenario.use_int8)
+    return DeployedWeights::int8_image(flat, scenario.int8_headroom);
+  return DeployedWeights::fixed_point_image(flat, scenario.fixed_format);
+}
+
+InjectionReport trans1_strike_overlay(
+    const DeployedWeights& deployed, const InferenceFaultScenario& scenario,
+    Rng& rng, WeightOverlay& out,
+    const std::vector<std::size_t>* base_hits) {
+  const InjectionReport report = deployed.inject(scenario.spec, rng, out);
+  if (scenario.detector != nullptr)
+    scenario.detector->scan_and_suppress(
+        std::span<const float>(deployed.base()), out, base_hits);
+  return report;
+}
+
+std::vector<EpisodeStats> greedy_episodes_trans1_batched(
+    Network& policy, const DeployedWeights& deployed,
+    const InferenceFaultScenario& scenario,
+    const std::vector<Environment*>& envs, std::vector<Rng>& rngs,
+    std::size_t max_steps, ThreadPool* pool,
+    const std::vector<std::size_t>* base_hits) {
+  const std::size_t lanes = envs.size();
+  FRLFI_CHECK_MSG(lanes >= 1 && rngs.size() == lanes && max_steps >= 1,
+                  "batched trans1: " << lanes << " envs, " << rngs.size()
+                                     << " rngs");
+  Trans1Strikes strikes{deployed, scenario, {}, nullptr};
+  strikes.fault_step.reserve(lanes);
+  // Per-lane stream order matches the serial runner exactly: the
+  // fault-step draw precedes the environment reset (which the shared
+  // lockstep core performs next).
+  for (std::size_t i = 0; i < lanes; ++i)
+    strikes.fault_step.push_back(
+        static_cast<std::size_t>(rngs[i].uniform_index(max_steps)));
+  std::vector<std::size_t> local_hits;
+  if (scenario.detector != nullptr) {
+    if (base_hits == nullptr) {
+      local_hits = scenario.detector->base_out_of_range(
+          std::span<const float>(deployed.base()));
+      base_hits = &local_hits;
+    }
+    strikes.base_hits = base_hits;
+  }
+  // The scenario's detector screens the strike overlays (weight scan,
+  // inside trans1_strike_overlay); activation screening does not apply.
+  return lockstep_episodes(policy, envs, rngs, max_steps,
+                           /*activation_detector=*/nullptr, pool, &strikes);
+}
 
 EpisodeStats greedy_episode_trans1(Network& policy, Environment& env, Rng& rng,
                                    std::size_t max_steps,
@@ -181,13 +300,35 @@ std::vector<double> run_batched_inference_campaign(
   std::vector<double> metrics(spec.episodes * spec.agents);
   const Rng base(spec.seed);
 
-  // One worker lane: private policy clone (the activation hook slot and
-  // Trans-1's in-place corruption are per-network state) and private
-  // environments, built once and reused across the lane's whole trial
-  // range. Trial streams depend only on (seed, salt, agent, trial), so any
-  // partition of trials over lanes produces identical bits.
+  // Nothing in the batched runners mutates parameters — Trans-1 corruption
+  // rides per-lane weight views over one shared deployed image — so every
+  // worker lane shares a single read-only working copy of the policy. The
+  // one exception is the batched activation screen, which installs a hook
+  // (per-network mutable state): those campaigns still clone per lane.
+  const bool hook_lanes = spec.trans1 == nullptr &&
+                          spec.activation_detector != nullptr &&
+                          spec.activation_detector->has_activation_calibration();
+  std::optional<Network> shared_policy;
+  if (!hook_lanes) shared_policy.emplace(policy.clone());
+  std::optional<DeployedWeights> deployed;
+  std::vector<std::size_t> base_hits;
+  if (spec.trans1 != nullptr) {
+    deployed.emplace(make_deployed_weights(policy, *spec.trans1));
+    // Detector precomputation, once per campaign: the deployed base and
+    // its out-of-range set are fixed across all trials and lanes.
+    if (spec.trans1->detector != nullptr)
+      base_hits = spec.trans1->detector->base_out_of_range(
+          std::span<const float>(deployed->base()));
+  }
+
+  // One worker lane: private environments (stateful), built once and
+  // reused across the lane's whole trial range. Trial streams depend only
+  // on (seed, salt, agent, trial), so any partition of trials over lanes
+  // produces identical bits.
   const auto run_trials = [&](std::size_t t_begin, std::size_t t_end) {
-    Network lane_policy = policy.clone();
+    std::optional<Network> private_policy;
+    if (hook_lanes) private_policy.emplace(policy.clone());
+    Network& lane_policy = hook_lanes ? *private_policy : *shared_policy;
     std::vector<std::unique_ptr<Environment>> lane_envs;
     std::vector<Environment*> lanes;
     lane_envs.reserve(spec.agents);
@@ -199,24 +340,18 @@ std::vector<double> run_batched_inference_campaign(
     std::vector<Rng> rngs(spec.agents, Rng(0));
     for (std::size_t t = t_begin; t < t_end; ++t) {
       for (std::size_t a = 0; a < spec.agents; ++a)
-        rngs[a] = base.split(spec.rng_salt + a).split(t);
-      if (spec.trans1 != nullptr) {
-        // Per-agent random-step corruption cannot share one forward: run
-        // the agents serially on the lane's private clone (the restore
-        // guard inside greedy_episode_trans1 heals it between agents).
-        for (std::size_t a = 0; a < spec.agents; ++a) {
-          const EpisodeStats stats =
-              greedy_episode_trans1(lane_policy, *lanes[a], rngs[a],
-                                    spec.max_steps, *spec.trans1);
-          metrics[t * spec.agents + a] = metric(a, *lanes[a], stats);
-        }
-      } else {
-        const std::vector<EpisodeStats> stats = greedy_episodes_batched(
-            lane_policy, lanes, rngs, spec.max_steps,
-            spec.activation_detector);
-        for (std::size_t a = 0; a < spec.agents; ++a)
-          metrics[t * spec.agents + a] = metric(a, *lanes[a], stats[a]);
-      }
+        rngs[a] = base.derive_stream({spec.rng_salt + a, t});
+      const std::vector<EpisodeStats> stats =
+          spec.trans1 != nullptr
+              ? greedy_episodes_trans1_batched(lane_policy, *deployed,
+                                               *spec.trans1, lanes, rngs,
+                                               spec.max_steps,
+                                               /*pool=*/nullptr, &base_hits)
+              : greedy_episodes_batched(lane_policy, lanes, rngs,
+                                        spec.max_steps,
+                                        spec.activation_detector);
+      for (std::size_t a = 0; a < spec.agents; ++a)
+        metrics[t * spec.agents + a] = metric(a, *lanes[a], stats[a]);
     }
   };
 

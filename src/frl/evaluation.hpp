@@ -84,10 +84,55 @@ struct InferenceFaultScenario {
 /// Run one greedy episode with a Trans-1 fault: at one uniformly chosen
 /// step the weights are corrupted (per the scenario's representation and
 /// BER) for that single action read — with the range detector, when
-/// configured, screening that read — then restored.
+/// configured, screening that read — then restored. This is the serial
+/// clone-and-mutate reference; the batched runner below reproduces it
+/// bit-for-bit through per-lane weight views without ever mutating.
 EpisodeStats greedy_episode_trans1(Network& policy, Environment& env, Rng& rng,
                                    std::size_t max_steps,
                                    const InferenceFaultScenario& scenario);
+
+/// Deployed-domain image of `policy`'s parameters under the scenario's
+/// representation (int8 with headroom, or the fixed-point word): the
+/// shared, read-only half of a Trans-1 strike. Compute once per campaign;
+/// each strike then costs only its sparse overlay.
+DeployedWeights make_deployed_weights(const Network& policy,
+                                      const InferenceFaultScenario& scenario);
+
+/// Compute one Trans-1 strike as a sparse overlay against `deployed`,
+/// consuming `rng` exactly as the in-place corrupt+repair sequence in
+/// greedy_episode_trans1 does — injection through the deployed words, then
+/// the scenario's range detector (when configured) folding zero-repairs
+/// into the overlay. deployed.base() + out is bit-identical to the weights
+/// the in-place path would have executed with. `base_hits`
+/// (RangeAnomalyDetector::base_out_of_range of deployed.base()) lets a
+/// campaign pay the detector's full base scan once instead of per strike.
+InjectionReport trans1_strike_overlay(
+    const DeployedWeights& deployed, const InferenceFaultScenario& scenario,
+    Rng& rng, WeightOverlay& out,
+    const std::vector<std::size_t>* base_hits = nullptr);
+
+/// Lockstep batched Trans-1: one greedy episode per lane over independent
+/// environments, where lane i's weights are corrupted for the single
+/// action read at one uniformly chosen step of its episode. Lane i
+/// consumes rngs[i] exactly as greedy_episode_trans1(policy, *envs[i],
+/// rngs[i], max_steps, scenario) would (fault-step draw, reset, strike,
+/// env steps — in that order), and the strike rides a per-lane WeightView
+/// through Network::forward_batch instead of mutating the policy: clean
+/// lanes share the batched forward while each striking lane's rows read
+/// its own corrupted weights. Per-lane results match the serial Trans-1
+/// loop under the same batch-width equivalence contract as
+/// greedy_episodes_batched (bit-identical for MLP policies and for conv
+/// policies at sub-wide-kernel fleet sizes). `policy` is never mutated and
+/// never cloned — the deletion of the per-lane clone + restore-guard
+/// machinery this runner replaces. `base_hits` (the detector's
+/// base_out_of_range over deployed.base()) lets a multi-trial campaign
+/// pay that scan once; when null it is computed here per call.
+std::vector<EpisodeStats> greedy_episodes_trans1_batched(
+    Network& policy, const DeployedWeights& deployed,
+    const InferenceFaultScenario& scenario,
+    const std::vector<Environment*>& envs, std::vector<Rng>& rngs,
+    std::size_t max_steps, ThreadPool* pool = nullptr,
+    const std::vector<std::size_t>* base_hits = nullptr);
 
 /// Corrupt `policy` in place per the scenario (static injection, performed
 /// before inference execution begins) and, if configured, repair it with
@@ -101,11 +146,13 @@ InjectionReport apply_static_inference_fault(Network& policy,
 /// decision steps batched through a single forward per step (the lockstep
 /// lane runner), fanned across the `core/parallel` pool.
 ///
-/// Trial e / agent a consumes the stream Rng(seed).split(rng_salt +
-/// a).split(e) — independent across trials, so trials are exchangeable and
+/// Trial e / agent a consumes the stream Rng(seed).derive_stream({rng_salt
+/// + a, e}) — independent across trials, so trials are exchangeable and
 /// the campaign is embarrassingly parallel: results are bit-identical for
-/// every `threads` value (each worker lane owns a private environment set
-/// and policy clone; metrics are folded in trial order by the caller from
+/// every `threads` value (each worker lane owns a private environment set;
+/// the policy is shared read-only across lanes — Trans-1 corruption rides
+/// per-lane weight views — except when the activation screen needs a
+/// private hook slot; metrics are folded in trial order by the caller from
 /// the returned trial-major vector).
 struct BatchedCampaignSpec {
   /// Independent trials (one batched episode over all agents each).
@@ -122,21 +169,26 @@ struct BatchedCampaignSpec {
   /// Campaign fan-out: 1 = serial on the calling thread; 0 = the shared
   /// global pool (FRLFI_NUM_THREADS re-resolved per call, as run_campaign
   /// does); N = an explicit pool of N lanes. Any choice yields the same
-  /// bits. Nested use from inside a pool worker degrades to inline.
+  /// bits. Nested use from a worker of the *same* pool (0 = the shared
+  /// global pool) degrades to inline; a nested explicit count spins its
+  /// own pool (see campaign.hpp).
   std::size_t threads = 1;
   /// Optional per-step batched activation screen (see
   /// greedy_episodes_batched); ignored for Trans-1 trials.
   const RangeAnomalyDetector* activation_detector = nullptr;
-  /// When set, each trial runs greedy_episode_trans1 per agent under this
-  /// scenario (per-agent random-step weight corruption on the lane's
-  /// private policy clone) instead of the batched lockstep step.
+  /// When set, each trial runs the batched Trans-1 lockstep runner under
+  /// this scenario (per-agent random-step corruption carried by per-lane
+  /// weight views over one shared deployed image — the policy is never
+  /// mutated) instead of the clean batched step.
   const InferenceFaultScenario* trans1 = nullptr;
 };
 
 /// Run the campaign. `make_env(a)` builds a fresh environment equivalent
 /// to agent a's (each worker lane materializes its own set — environments
-/// are stateful and never shared across lanes; the policy is cloned per
-/// lane for the same reason, so `policy` itself is never mutated).
+/// are stateful and never shared across lanes; the policy is cloned once
+/// and shared read-only by every lane, nothing mutates it — only the
+/// activation screen, whose hook slot is per-network state, still takes a
+/// private clone per lane).
 /// `metric(a, env, stats)` maps agent a's finished episode (the
 /// environment still holds its terminal state) to the scalar of interest.
 /// Returns episodes x agents metrics indexed [trial * agents + agent] —

@@ -256,8 +256,8 @@ double GridWorldFrlSystem::evaluate_inference_fault(
   // agents' decision steps into a single forward per step (the all-Dense
   // gridworld policy makes the batched logits bit-identical to the serial
   // loop), and attempts fan across worker lanes, each owning a private
-  // environment set. Trans-1 attempts run the per-agent random-step
-  // corruption serially within their lane instead.
+  // environment set over the shared read-only policy. Trans-1 attempts
+  // join the same batched step via per-agent weight views.
   BatchedCampaignSpec spec;
   spec.episodes = attempts_per_agent;
   spec.agents = cfg_.n_agents;

@@ -17,8 +17,10 @@
 /// per layer, suppressing every out-of-range element.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "fault/overlay.hpp"
 #include "nn/network.hpp"
 
 namespace frlfi {
@@ -43,6 +45,29 @@ class RangeAnomalyDetector {
 
   /// Scan without repairing; returns the number of out-of-range weights.
   std::size_t scan(Network& net) const;
+
+  /// Overlay-plane scan_and_suppress: walk the *effective* weights of the
+  /// fault-overlay view (base + overlay; flat layout in calibration
+  /// order) and record a zero-suppression in `overlay` for every
+  /// out-of-range value — bit-for-bit the repairs scan_and_suppress(net)
+  /// would write, with nothing mutated but the caller's overlay. Base
+  /// stays untouched, so concurrent lanes can screen their own overlays
+  /// against one shared deployed base.
+  ///
+  /// With `base_hits` (the result of base_out_of_range on the same base),
+  /// the O(params) base walk is skipped: the scan merges the precomputed
+  /// hit list with the sparse overlay, so a campaign paying the base scan
+  /// once screens each strike in O(overlay entries) — identical output.
+  std::size_t scan_and_suppress(
+      std::span<const float> base, WeightOverlay& overlay,
+      const std::vector<std::size_t>* base_hits = nullptr) const;
+
+  /// Ascending flat indices of base values outside their tensor's
+  /// calibrated range — the shareable per-(detector, base) precomputation
+  /// behind scan_and_suppress's fast path (usually empty: a deployed
+  /// round-trip of the calibration weights stays in range).
+  std::vector<std::size_t> base_out_of_range(
+      std::span<const float> base) const;
 
   /// Number of calibrated parameter tensors.
   std::size_t tensor_count() const { return ranges_.size(); }
@@ -79,7 +104,8 @@ class RangeAnomalyDetector {
   std::size_t for_each_out_of_range(Network& net, Fn&& fn) const;
 
   std::vector<Range> ranges_;
-  std::vector<Range> act_ranges_;  // per layer; empty until calibrated
+  std::vector<std::size_t> sizes_;  // scalars per calibrated tensor
+  std::vector<Range> act_ranges_;   // per layer; empty until calibrated
   double margin_ = 0.0;
 };
 

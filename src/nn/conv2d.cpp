@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "fault/overlay.hpp"
 #include "tensor/gemm.hpp"
 
 namespace frlfi {
@@ -195,7 +196,8 @@ Tensor Conv2D::forward_batch(const Tensor& input, std::size_t batch) {
                         batch);
 }
 
-Tensor Conv2D::forward_batch_inner(Tensor input, std::size_t batch) {
+Tensor Conv2D::batch_inner_with(Tensor input, std::size_t batch,
+                                const float* wt, const float* bias) const {
   FRLFI_CHECK_MSG(batch >= 1 && input.rank() == 4 && input.dim(0) == in_c_ &&
                       input.dim(3) == batch,
                   label_ << ": bad batch-inner input " << input.shape_string()
@@ -221,18 +223,52 @@ Tensor Conv2D::forward_batch_inner(Tensor input, std::size_t batch) {
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t f = 0; f < sample; ++f) xs[f] = x[f * batch + b];
       im2col(xs.data(), s, cols.data());
-      gemm_bias_rows(weight_.value.data().data(), cols.data(),
-                     bias_.value.data().data(), ys.data(), out_c_, s.rows(),
+      gemm_bias_rows(wt, cols.data(), bias, ys.data(), out_c_, s.rows(),
                      ncols);
       for (std::size_t f = 0; f < out_c_ * ncols; ++f)
         y[f * batch + b] = ys[f];
     }
     return out;
   }
-  conv_batch_inner(input.data().data(), weight_.value.data().data(),
-                   bias_.value.data().data(), s, out_c_, batch,
+  conv_batch_inner(input.data().data(), wt, bias, s, out_c_, batch,
                    out.data().data());
   return out;
+}
+
+Tensor Conv2D::forward_batch_inner(Tensor input, std::size_t batch) {
+  return batch_inner_with(std::move(input), batch, weight_.value.data().data(),
+                          bias_.value.data().data());
+}
+
+Tensor Conv2D::forward_view(const Tensor& input, const WeightView& view,
+                            std::size_t param_offset) {
+  FRLFI_CHECK_MSG(input.rank() == 3 && input.dim(0) == in_c_,
+                  label_ << ": bad input shape " << input.shape_string());
+  const ConvShape s = shape_for(input);
+  out_extent(s.h);
+  out_extent(s.w);
+  const std::size_t oh = s.out_h(), ow = s.out_w();
+  const std::size_t rows = s.rows(), ncols = s.cols();
+  // Per-thread scratch (not the member workspaces): view forwards must
+  // leave the training-path caches alone and stay reentrant.
+  thread_local std::vector<float> cols, wbuf, bbuf;
+  cols.resize(rows * ncols);
+  im2col(input.data().data(), s, cols.data());
+  const auto wb = view.weight_bias(param_offset, weight_.value.size(),
+                                   bias_.value.size(), wbuf, bbuf);
+  Tensor out({out_c_, oh, ow});
+  gemm_bias_rows(wb.weight, cols.data(), wb.bias, out.data().data(), out_c_,
+                 rows, ncols);
+  return out;
+}
+
+Tensor Conv2D::forward_batch_inner_view(Tensor input, std::size_t batch,
+                                        const WeightView& view,
+                                        std::size_t param_offset) {
+  thread_local std::vector<float> wbuf, bbuf;
+  const auto wb = view.weight_bias(param_offset, weight_.value.size(),
+                                   bias_.value.size(), wbuf, bbuf);
+  return batch_inner_with(std::move(input), batch, wb.weight, wb.bias);
 }
 
 Tensor Conv2D::backward(const Tensor& grad_output) {

@@ -50,6 +50,19 @@ class Conv2D final : public Layer {
   /// contract as forward_batch.
   Tensor forward_batch_inner(Tensor input, std::size_t batch) override;
 
+  /// Fault-overlay plane: forward()'s exact im2col+GEMM chain with the
+  /// weight/bias read through `view` (zero-copy when the overlay misses
+  /// this layer's span), on per-thread scratch and without touching the
+  /// backward caches — bit-identical to mutate-forward-restore.
+  Tensor forward_view(const Tensor& input, const WeightView& view,
+                      std::size_t param_offset) override;
+
+  /// View-directed batch-inner forward; same equivalence contract as
+  /// forward_batch_inner, reentrant across concurrent views.
+  Tensor forward_batch_inner_view(Tensor input, std::size_t batch,
+                                  const WeightView& view,
+                                  std::size_t param_offset) override;
+
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -75,6 +88,10 @@ class Conv2D final : public Layer {
   ConvShape shape_for(const Tensor& input) const;
   void check_grad_shape(const Tensor& grad_output, std::size_t oh,
                         std::size_t ow) const;
+  // forward_batch_inner's compute with an explicit weight source (the
+  // layer's own tensors or a resolved view span).
+  Tensor batch_inner_with(Tensor input, std::size_t batch, const float* wt,
+                          const float* bias) const;
 
   std::size_t in_c_, out_c_, k_, stride_, pad_;
   Parameter weight_;  // (out_c, in_c, k, k)

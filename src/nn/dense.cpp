@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "fault/overlay.hpp"
 #include "tensor/gemm.hpp"
 
 namespace frlfi {
@@ -41,7 +42,8 @@ Tensor Dense::forward_batch(const Tensor& input, std::size_t batch) {
                         batch);
 }
 
-Tensor Dense::forward_batch_inner(Tensor input, std::size_t batch) {
+Tensor Dense::batch_inner_with(Tensor input, std::size_t batch,
+                               const float* wt, const float* bias) const {
   FRLFI_CHECK_MSG(batch >= 1 && input.size() == batch * in_ &&
                       input.dim(input.rank() - 1) == batch,
                   label_ << ": bad batch-inner input " << input.shape_string()
@@ -57,16 +59,41 @@ Tensor Dense::forward_batch_inner(Tensor input, std::size_t batch) {
     ys.resize(out_);
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t j = 0; j < in_; ++j) xs[j] = input[j * batch + b];
-      gemv_bias(weight_.value.data().data(), xs.data(),
-                bias_.value.data().data(), ys.data(), out_, in_);
+      gemv_bias(wt, xs.data(), bias, ys.data(), out_, in_);
       for (std::size_t o = 0; o < out_; ++o) out[o * batch + b] = ys[o];
     }
     return out;
   }
-  gemm_bias_rows_ordered(weight_.value.data().data(), input.data().data(),
-                         bias_.value.data().data(), out.data().data(), out_,
-                         in_, batch);
+  gemm_bias_rows_ordered(wt, input.data().data(), bias, out.data().data(),
+                         out_, in_, batch);
   return out;
+}
+
+Tensor Dense::forward_batch_inner(Tensor input, std::size_t batch) {
+  return batch_inner_with(std::move(input), batch, weight_.value.data().data(),
+                          bias_.value.data().data());
+}
+
+Tensor Dense::forward_view(const Tensor& input, const WeightView& view,
+                           std::size_t param_offset) {
+  FRLFI_CHECK_MSG(input.size() == in_, label_ << ": input size "
+                                              << input.size() << " != " << in_);
+  thread_local std::vector<float> wbuf, bbuf;
+  const auto wb = view.weight_bias(param_offset, weight_.value.size(),
+                                   bias_.value.size(), wbuf, bbuf);
+  Tensor out({out_});
+  gemv_bias(wb.weight, input.data().data(), wb.bias, out.data().data(), out_,
+            in_);
+  return out;
+}
+
+Tensor Dense::forward_batch_inner_view(Tensor input, std::size_t batch,
+                                       const WeightView& view,
+                                       std::size_t param_offset) {
+  thread_local std::vector<float> wbuf, bbuf;
+  const auto wb = view.weight_bias(param_offset, weight_.value.size(),
+                                   bias_.value.size(), wbuf, bbuf);
+  return batch_inner_with(std::move(input), batch, wb.weight, wb.bias);
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

@@ -31,6 +31,18 @@ class Dense final : public Layer {
   /// repacking at all. Bit-identical to forward() at every batch size.
   Tensor forward_batch_inner(Tensor input, std::size_t batch) override;
 
+  /// Fault-overlay plane: forward()'s exact gemv chain with weight/bias
+  /// read through `view` (zero-copy when the overlay misses this layer),
+  /// cache-free and reentrant — bit-identical to mutate-forward-restore.
+  Tensor forward_view(const Tensor& input, const WeightView& view,
+                      std::size_t param_offset) override;
+
+  /// View-directed batch-inner forward; same equivalence contract as
+  /// forward_batch_inner, reentrant across concurrent views.
+  Tensor forward_batch_inner_view(Tensor input, std::size_t batch,
+                                  const WeightView& view,
+                                  std::size_t param_offset) override;
+
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;
@@ -48,6 +60,10 @@ class Dense final : public Layer {
   Parameter& bias() { return bias_; }
 
  private:
+  // forward_batch_inner's compute with an explicit weight source.
+  Tensor batch_inner_with(Tensor input, std::size_t batch, const float* wt,
+                          const float* bias) const;
+
   std::size_t in_, out_;
   Parameter weight_;  // (out, in)
   Parameter bias_;    // (out)

@@ -37,6 +37,38 @@ Tensor Layer::forward_batch_inner(Tensor input, std::size_t batch) {
                         batch);
 }
 
+Tensor Layer::forward_view(const Tensor& input, const WeightView& view,
+                           std::size_t param_offset) {
+  FRLFI_CHECK_MSG(parameters().empty(),
+                  name() << ": weight views need a forward_view override");
+  // Run the sample as a width-1 batch-inner tensor — layout-identical to
+  // the sample itself — through the cache-free batch-inner override, so
+  // the default honours the view contract's "nothing is written" rule
+  // (plain forward() would cache and break shared-policy reentrancy).
+  std::vector<std::size_t> in_shape = input.shape();
+  in_shape.push_back(1);
+  Tensor y = forward_batch_inner_view(input.reshaped(in_shape), 1, view,
+                                      param_offset);
+  const std::vector<std::size_t> out_shape(y.shape().begin(),
+                                           y.shape().end() - 1);
+  return y.reshaped(out_shape);
+}
+
+Tensor Layer::forward_batch_inner_view(Tensor input, std::size_t batch,
+                                       const WeightView& /*view*/,
+                                       std::size_t /*param_offset*/) {
+  FRLFI_CHECK_MSG(
+      parameters().empty(),
+      name() << ": weight views need a forward_batch_inner_view override");
+  // Parameterless layers have nothing to read from the view: their own
+  // batch-inner override is the view path. Precondition (same as sharded
+  // forward_batch, see layer.hpp): the layer must actually override
+  // forward_batch_inner cache-free — the base fallback routes through
+  // forward(), which writes the backward caches, and view forwards may
+  // run concurrently on a shared network. All in-tree layers comply.
+  return forward_batch_inner(std::move(input), batch);
+}
+
 namespace {
 
 // (rows x cols) -> (cols x rows) transpose. The interior runs on 4x4

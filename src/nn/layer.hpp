@@ -27,6 +27,11 @@
 
 namespace frlfi {
 
+// The fault-overlay plane (fault/overlay.hpp): a read-only flat base
+// parameter vector plus a sparse per-lane corruption overlay. The forward
+// plane only ever holds a pointer to it, so a declaration suffices here.
+struct WeightView;
+
 /// Batch width at which the batch-inner layers switch from the per-sample
 /// gather kernels to the wide B-stride SIMD kernels (Conv2D's direct
 /// batch-inner convolution, Dense's ordered batched GEMM). Shared between
@@ -93,6 +98,28 @@ class Layer {
   /// default is NOT shardable: the forward_batch fallback writes the
   /// per-sample backward caches.
   virtual Tensor forward_batch_inner(Tensor input, std::size_t batch);
+
+  /// View-directed forward (the fault-overlay plane): the same compute as
+  /// forward(), but every parameter value is read through `view` — the
+  /// network's deployed base plus a sparse corruption overlay — with this
+  /// layer's parameters starting at flat offset `param_offset` in the
+  /// view. The layer's own parameter tensors are never touched and, unlike
+  /// forward(), nothing is cached, so distinct views can run concurrently
+  /// on one layer object. Layers without parameters inherit the default,
+  /// which routes the sample through the cache-free batch-inner path as a
+  /// width-1 batch; parameterized layers must override (the default
+  /// rejects them).
+  virtual Tensor forward_view(const Tensor& input, const WeightView& view,
+                              std::size_t param_offset);
+
+  /// Batch-innermost view-directed forward: forward_batch_inner's numeric
+  /// and thread-safety contract (per-thread scratch only, no caches) with
+  /// parameters read through `view` as in forward_view. This is the
+  /// kernel-level entry that lets a sharded Network::forward_batch run
+  /// per-lane sub-batches with per-lane corrupted weights concurrently.
+  virtual Tensor forward_batch_inner_view(Tensor input, std::size_t batch,
+                                          const WeightView& view,
+                                          std::size_t param_offset);
 
   /// Trainable parameters (possibly empty). Pointers remain valid for the
   /// lifetime of the layer.

@@ -7,12 +7,16 @@
 
 #include "core/error.hpp"
 #include "core/parallel.hpp"
+#include "fault/overlay.hpp"
 
 namespace frlfi {
 
 Network& Network::add(std::unique_ptr<Layer> layer) {
   FRLFI_CHECK(layer != nullptr);
   layers_.push_back(std::move(layer));
+  layer_offsets_.push_back(param_total_);
+  for (Parameter* p : layers_.back()->parameters())
+    param_total_ += p->value.size();
   param_cache_valid_ = false;
   return *this;
 }
@@ -32,11 +36,16 @@ void Network::set_activation_hook(
   activation_hook_ = std::move(hook);
 }
 
-Tensor Network::forward(const Tensor& input) {
+Tensor Network::forward(const Tensor& input, const WeightView* view) {
   FRLFI_CHECK_MSG(!layers_.empty(), "forward on empty network");
+  if (view != nullptr)
+    FRLFI_CHECK_MSG(view->params == param_total_,
+                    "view holds " << view->params << " params, network "
+                                  << param_total_);
   Tensor x = input;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    x = layers_[i]->forward(x);
+    x = view != nullptr ? layers_[i]->forward_view(x, *view, layer_offsets_[i])
+                        : layers_[i]->forward(x);
     if (activation_hook_) activation_hook_(i, x);
   }
   return x;
@@ -51,56 +60,102 @@ std::size_t batch_shard_count(std::size_t batch, std::size_t lanes) {
 }
 
 Tensor Network::forward_batch(const Tensor& input, std::size_t batch,
-                              ThreadPool* pool) {
+                              ThreadPool* pool,
+                              std::span<const WeightView* const> lane_views) {
   FRLFI_CHECK_MSG(!layers_.empty(), "forward_batch on empty network");
   FRLFI_CHECK_MSG(batch >= 1 && input.dim(0) == batch,
                   "bad batch input " << input.shape_string());
-  const std::size_t shards =
-      pool ? batch_shard_count(batch, pool->size()) : 1;
-  if (shards <= 1) {
-    // One transpose into batch-innermost layout, the whole stack on the
-    // fast batch-inner kernels, one transpose back.
-    Tensor x = batch_to_inner(input, batch);
-    for (std::size_t i = 0; i < layers_.size(); ++i) {
-      x = layers_[i]->forward_batch_inner(std::move(x), batch);
-      if (activation_hook_) activation_hook_(i, x);
+  bool any_view = false;
+  if (!lane_views.empty()) {
+    FRLFI_CHECK_MSG(lane_views.size() == batch,
+                    "lane_views " << lane_views.size() << " for batch "
+                                  << batch);
+    for (const WeightView* v : lane_views) {
+      if (v == nullptr) continue;
+      FRLFI_CHECK_MSG(v->params == param_total_,
+                      "view holds " << v->params << " params, network "
+                                    << param_total_);
+      any_view = true;
     }
-    return batch_to_major(x, batch);
   }
-  // Sharded path: each lane takes a contiguous slice of batch-major rows,
-  // transposes it to batch-inner, runs the whole stack on its own tensors
-  // (per-lane workspace — nothing below this loop is shared but the
-  // read-only weights and the hook), and transposes back. Shard outputs
-  // are stitched afterwards so no lane writes into a shared buffer.
+  const std::size_t lanes = pool ? pool->size() : 1;
+  if (!any_view) {
+    const std::size_t shards = batch_shard_count(batch, lanes);
+    if (shards <= 1) {
+      // One transpose into batch-innermost layout, the whole stack on the
+      // fast batch-inner kernels, one transpose back.
+      Tensor x = batch_to_inner(input, batch);
+      for (std::size_t i = 0; i < layers_.size(); ++i) {
+        x = layers_[i]->forward_batch_inner(std::move(x), batch);
+        if (activation_hook_) activation_hook_(i, x);
+      }
+      return batch_to_major(x, batch);
+    }
+  }
+  // Row-range tasks: contiguous runs of rows sharing one weight view
+  // (without views: the whole batch), each run split by the same
+  // width-preserving shard planner as before. Each task takes a
+  // contiguous slice of batch-major rows, transposes it to batch-inner,
+  // runs the whole stack on its own tensors (per-task workspace — nothing
+  // below is shared but the read-only weights/views and the hook), and
+  // transposes back. Task outputs are stitched afterwards so no lane
+  // writes into a shared buffer.
+  struct RowTask {
+    std::size_t b0, b1;
+    const WeightView* view;
+  };
+  std::vector<RowTask> tasks;
+  std::size_t run0 = 0;
+  for (std::size_t b = 1; b <= batch; ++b) {
+    if (b < batch && (!any_view || lane_views[b] == lane_views[run0])) continue;
+    const std::size_t run = b - run0;
+    const std::size_t shards = batch_shard_count(run, lanes);
+    for (std::size_t s = 0; s < shards; ++s) {
+      std::size_t r0, r1;
+      shard_range(run, shards, s, r0, r1);
+      tasks.push_back(
+          {run0 + r0, run0 + r1, any_view ? lane_views[run0] : nullptr});
+    }
+    run0 = b;
+  }
   const std::size_t sample = input.size() / batch;
   const std::vector<std::size_t> sample_shape(input.shape().begin() + 1,
                                               input.shape().end());
-  std::vector<Tensor> shard_out(shards);
-  pool->parallel_for(shards, [&](std::size_t s_begin, std::size_t s_end) {
-    for (std::size_t s = s_begin; s < s_end; ++s) {
-      std::size_t b0, b1;
-      shard_range(batch, shards, s, b0, b1);
-      const std::size_t nb = b1 - b0;
+  std::vector<Tensor> task_out(tasks.size());
+  const auto run_task = [&](std::size_t t_begin, std::size_t t_end) {
+    for (std::size_t t = t_begin; t < t_end; ++t) {
+      const RowTask& task = tasks[t];
+      const std::size_t nb = task.b1 - task.b0;
       std::vector<std::size_t> sub_shape{nb};
       sub_shape.insert(sub_shape.end(), sample_shape.begin(),
                        sample_shape.end());
       Tensor sub(std::move(sub_shape));
-      std::copy_n(input.data().begin() + static_cast<std::ptrdiff_t>(b0 * sample),
-                  nb * sample, sub.data().begin());
+      std::copy_n(
+          input.data().begin() + static_cast<std::ptrdiff_t>(task.b0 * sample),
+          nb * sample, sub.data().begin());
       Tensor x = batch_to_inner(sub, nb);
       for (std::size_t i = 0; i < layers_.size(); ++i) {
-        x = layers_[i]->forward_batch_inner(std::move(x), nb);
+        x = task.view != nullptr
+                ? layers_[i]->forward_batch_inner_view(std::move(x), nb,
+                                                       *task.view,
+                                                       layer_offsets_[i])
+                : layers_[i]->forward_batch_inner(std::move(x), nb);
         if (activation_hook_) activation_hook_(i, x);
       }
-      shard_out[s] = batch_to_major(x, nb);
+      task_out[t] = batch_to_major(x, nb);
     }
-  });
-  std::vector<std::size_t> out_shape = shard_out[0].shape();
+  };
+  if (pool != nullptr && tasks.size() > 1) {
+    pool->parallel_for(tasks.size(), run_task);
+  } else {
+    run_task(0, tasks.size());
+  }
+  std::vector<std::size_t> out_shape = task_out[0].shape();
   out_shape[0] = batch;
-  const std::size_t out_sample = shard_out[0].size() / shard_out[0].dim(0);
+  const std::size_t out_sample = task_out[0].size() / task_out[0].dim(0);
   Tensor out(std::move(out_shape));
   std::size_t row = 0;
-  for (const Tensor& part : shard_out) {
+  for (const Tensor& part : task_out) {
     std::copy_n(part.data().begin(), part.size(),
                 out.data().begin() +
                     static_cast<std::ptrdiff_t>(row * out_sample));
@@ -128,13 +183,6 @@ std::vector<Parameter*> Network::parameters() {
 
 void Network::zero_grad() {
   for (Parameter* p : parameters()) p->zero_grad();
-}
-
-std::size_t Network::parameter_count() const {
-  std::size_t n = 0;
-  for (const auto& l : layers_)
-    for (Parameter* p : const_cast<Layer&>(*l).parameters()) n += p->value.size();
-  return n;
 }
 
 std::vector<float> Network::flat_parameters() const {

@@ -11,12 +11,14 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
 
 #include "nn/layer.hpp"
 
 namespace frlfi {
 
 class ThreadPool;
+struct WeightView;  // fault/overlay.hpp (see layer.hpp)
 
 /// A stack of layers executed in order. Movable, deep-clonable.
 class Network {
@@ -50,8 +52,13 @@ class Network {
     return activation_hook_;
   }
 
-  /// Run the full forward pass.
-  Tensor forward(const Tensor& input);
+  /// Run the full forward pass. With a non-null `view` (the fault-overlay
+  /// plane, fault/overlay.hpp), every layer reads its parameters through
+  /// the view — deployed base + sparse corruption overlay — instead of its
+  /// own tensors: the result is bit-identical to mutating the network to
+  /// the view's effective weights, forwarding, and restoring, but nothing
+  /// is ever written. The view's length must equal parameter_count().
+  Tensor forward(const Tensor& input, const WeightView* view = nullptr);
 
   /// Run the full forward pass over `batch` stacked samples (leading dim =
   /// batch; rank-4 (B,C,H,W) for conv stacks, rank-2 (B,features) for MLPs).
@@ -81,8 +88,19 @@ class Network {
   /// per-sample forward() and mutates the backward caches (see
   /// layer.hpp). Calling this from inside a pool job is safe: the nested
   /// dispatch runs inline (see parallel.hpp).
+  ///
+  /// `lane_views` (empty, or one entry per batch row) is the fault-overlay
+  /// plane: row b reads its parameters through *lane_views[b] (null =
+  /// the layer's own weights), so one batched forward serves N lanes with
+  /// N different corrupted weight sets — batched Trans-1. Contiguous rows
+  /// sharing a view run as one sub-batch through the batch-inner stack
+  /// (sharded by the same width-preserving planner); each distinct-view
+  /// run computes exactly what forward_batch of those rows on a network
+  /// holding that view's effective weights would, under the layers' usual
+  /// batch-width equivalence contracts.
   Tensor forward_batch(const Tensor& input, std::size_t batch,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr,
+                       std::span<const WeightView* const> lane_views = {});
 
   /// Run backward from dLoss/dOutput; accumulates parameter gradients and
   /// returns dLoss/dInput.
@@ -95,7 +113,7 @@ class Network {
   void zero_grad();
 
   /// Total number of trainable scalars.
-  std::size_t parameter_count() const;
+  std::size_t parameter_count() const { return param_total_; }
 
   /// Copy all parameter values into one flat vector (layer order).
   std::vector<float> flat_parameters() const;
@@ -115,6 +133,11 @@ class Network {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Flat parameter offset per layer (the coordinate system WeightView
+  // overlays index) + running total. Maintained eagerly by add(), so
+  // concurrent read-only forwards never race on a lazy cache.
+  std::vector<std::size_t> layer_offsets_;
+  std::size_t param_total_ = 0;
   std::function<void(std::size_t, Tensor&)> activation_hook_;
   // parameters() result cached per topology; invalidated by add().
   mutable std::vector<Parameter*> param_cache_;

@@ -35,9 +35,19 @@
 // bit-reproducibility while roughly doubling hot-loop throughput on AVX2
 // parts. Kernels with reductions (packed narrow dots, the transposed
 // GEMMs, gemv) must NOT be cloned: their reduction-tree shape follows the
-// vector width.
+// vector width. Disabled under ThreadSanitizer: target_clones emits IFUNC
+// resolvers that run before the TSan runtime initializes, crashing any
+// binary that links a cloned kernel at load time (dispatch is identical
+// either way, so sanitizer builds just lose the wider vectors).
+#if defined(__SANITIZE_THREAD__)
+#define FRLFI_NO_TARGET_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FRLFI_NO_TARGET_CLONES 1
+#endif
+#endif
 #if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
-    !defined(__AVX2__)
+    !defined(__AVX2__) && !defined(FRLFI_NO_TARGET_CLONES)
 #define FRLFI_TARGET_CLONES \
   __attribute__((target_clones("avx512f", "avx2", "default")))
 #else

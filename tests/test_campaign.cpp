@@ -128,6 +128,32 @@ TEST(Campaign, AutoThreadsHonorsEnvKnob) {
   unsetenv("FRLFI_NUM_THREADS");
 }
 
+TEST(CellCampaign, MetricsAreCellOrderedAndThreadCountInvariant) {
+  // The heatmap-sweep outer loop: each cell's metric depends only on its
+  // index, so any fan-out returns identical cell-order bits.
+  const auto cell_fn = [](std::size_t c) {
+    Rng rng(1000 + c);
+    double acc = static_cast<double>(c);
+    for (int i = 0; i < 50; ++i) acc += rng.uniform();
+    return acc;
+  };
+  const std::vector<double> serial = run_cell_campaign(23, 1, cell_fn);
+  ASSERT_EQ(serial.size(), 23u);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{7},
+                                    std::size_t{16}}) {
+    EXPECT_EQ(run_cell_campaign(23, threads, cell_fn), serial)
+        << "threads " << threads;
+  }
+  setenv("FRLFI_NUM_THREADS", "3", 1);
+  EXPECT_EQ(run_cell_campaign(23, 0, cell_fn), serial);
+  unsetenv("FRLFI_NUM_THREADS");
+}
+
+TEST(CellCampaign, ZeroCellsRejected) {
+  EXPECT_THROW(run_cell_campaign(0, 1, [](std::size_t) { return 0.0; }),
+               Error);
+}
+
 TEST(Campaign, ParallelTrialExceptionPropagates) {
   CampaignConfig cfg{.seed = 2, .trials = 100, .threads = 4};
   EXPECT_THROW(run_campaign(cfg,

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
 #include "core/error.hpp"
 
 namespace frlfi {
@@ -27,6 +32,63 @@ TEST(DroneFrl, PretrainingIsCachedAcrossInstances) {
   const auto& a = DroneFrlSystem::pretrained_parameters(test_config(), kSeed);
   const auto& b = DroneFrlSystem::pretrained_parameters(test_config(), kSeed);
   EXPECT_EQ(&a, &b);  // same cached vector
+}
+
+TEST(DroneFrl, PretrainingCacheIsConcurrencySafe) {
+  // Pool-parallel campaign cells hit the cache from many threads at once:
+  // same-key callers must all land on one computation (no recompute, no
+  // torn reads), distinct keys must be able to fill concurrently. Run on
+  // fresh keys so the race window — first fill — is actually exercised.
+  DroneFrlSystem::Config cfg_a = test_config();
+  cfg_a.imitation_episodes = 3;  // cheap fresh key
+  DroneFrlSystem::Config cfg_b = cfg_a;
+  cfg_b.imitation_episodes = 4;  // second fresh key
+  constexpr std::uint64_t seed = 0xC0FFEE;
+  std::vector<const std::vector<float>*> got_a(8, nullptr), got_b(8, nullptr);
+  std::atomic<int> start{0};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      start.fetch_add(1);
+      while (start.load() < 8) {
+      }  // maximize overlap on the first fill
+      got_a[i] = &DroneFrlSystem::pretrained_parameters(cfg_a, seed);
+      got_b[i] = &DroneFrlSystem::pretrained_parameters(cfg_b, seed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(got_a[i], got_a[0]) << "thread " << i;
+    EXPECT_EQ(got_b[i], got_b[0]) << "thread " << i;
+  }
+  EXPECT_NE(got_a[0], got_b[0]);
+  EXPECT_EQ(*got_a[0],
+            DroneFrlSystem::pretrained_parameters(cfg_a, seed));
+}
+
+TEST(DroneFrl, HeatmapCellsPoolParallelAreThreadCountInvariant) {
+  // A miniature training-phase heatmap campaign (the drone_sweeps shape):
+  // cells build whole systems — sharing only the pretraining cache — train
+  // under distinct fault plans, and evaluate. Cell metrics must not
+  // depend on the fan-out.
+  const auto cell_fn = [](std::size_t cell) {
+    DroneFrlSystem sys(test_config(), kSeed);
+    TrainingFaultPlan plan;
+    plan.active = true;
+    plan.spec.site = cell % 2 == 0 ? FaultSite::AgentFault
+                                   : FaultSite::ServerFault;
+    plan.spec.model = FaultModel::TransientPersistent;
+    plan.spec.ber = cell < 2 ? 1e-3 : 1e-2;
+    plan.spec.episode = 2;
+    sys.set_fault_plan(plan);
+    sys.train(5);
+    return sys.evaluate_flight_distance(2, 99 + cell);
+  };
+  const std::vector<double> serial = run_cell_campaign(4, 1, cell_fn);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{7}}) {
+    EXPECT_EQ(run_cell_campaign(4, threads, cell_fn), serial)
+        << "threads " << threads;
+  }
 }
 
 TEST(DroneFrl, FineTuningDoesNotCollapse) {
