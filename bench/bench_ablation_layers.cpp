@@ -4,6 +4,14 @@
 /// representation range": faults are injected into one parameterized layer
 /// at a time of the GridWorld and DroneNav policies and the end-to-end
 /// metric is compared.
+///
+/// Injection rides the layer-scoped overlay plane: one LayerDeployedWeights
+/// image per layer is computed against the shared trained consensus
+/// snapshot, every trial's fault plan becomes a sparse WeightOverlay, and
+/// evaluation reads the corrupted weights through a WeightView — the
+/// consensus network is never cloned or mutated per trial. Bit-identical
+/// to the historical clone + inject_layer_weights loop (same per-tensor
+/// representation and RNG stream; view-forward == mutate-and-forward).
 
 #include <iostream>
 
@@ -40,6 +48,7 @@ int main(int argc, char** argv) {
   {
     std::cout << "\n--- GridWorld policy (SR %) ---\n";
     GridWorldFrlSystem::Config cfg;
+    cfg.threads = args.train_threads;
     GridWorldFrlSystem sys(cfg, args.seed);
     sys.train(args.fast ? 500 : 1000);
     Network consensus = sys.consensus_network();
@@ -54,15 +63,18 @@ int main(int argc, char** argv) {
         .num(100.0 * sys.evaluate_inference_fault(clean, 10, args.seed), 1);
 
     for (std::size_t li : parameterized_layers(consensus)) {
+      // One read-only layer image for all trials of this layer.
+      const LayerDeployedWeights deployed(consensus, li);
       RunningStats stats;
       std::size_t param_count = 0;
       for (std::size_t t = 0; t < trials; ++t) {
-        Network victim = consensus.clone();
         FaultSpec spec;
         spec.ber = ber;
         Rng rng(args.seed + 97 * t);
-        const InjectionReport r = inject_layer_weights(victim, li, spec, rng);
+        WeightOverlay overlay;
+        const InjectionReport r = deployed.inject(spec, rng, overlay);
         param_count = r.bits_total / 8;
+        const WeightView view = deployed.view(&overlay);
         // Evaluate the corrupted policy across all agents' environments.
         double sr = 0.0;
         for (std::size_t a = 0; a < sys.config().n_agents; ++a) {
@@ -70,7 +82,9 @@ int main(int argc, char** argv) {
           std::size_t wins = 0;
           constexpr std::size_t kAttempts = 6;
           for (std::size_t k = 0; k < kAttempts; ++k)
-            wins += greedy_episode(victim, sys.agent_env(a), ev, 400).success;
+            wins +=
+                greedy_episode(consensus, sys.agent_env(a), ev, 400, &view)
+                    .success;
           sr += static_cast<double>(wins) / kAttempts;
         }
         stats.add(100.0 * sr / static_cast<double>(sys.config().n_agents));
@@ -85,7 +99,9 @@ int main(int argc, char** argv) {
 
   {
     std::cout << "\n--- DroneNav policy (flight distance [m]) ---\n";
-    DroneFrlSystem sys(bench_drone_config(2), args.seed);
+    DroneFrlSystem::Config dcfg = bench_drone_config(2);
+    dcfg.threads = args.train_threads;
+    DroneFrlSystem sys(dcfg, args.seed);
     sys.train(args.fast ? 30 : 60);
     Network consensus = sys.consensus_network();
 
@@ -98,22 +114,24 @@ int main(int argc, char** argv) {
         .num(sys.evaluate_inference_fault(clean, 3, args.seed), 0);
 
     for (std::size_t li : parameterized_layers(consensus)) {
+      const LayerDeployedWeights deployed(consensus, li);
       RunningStats stats;
       std::size_t param_count = 0;
       for (std::size_t t = 0; t < trials; ++t) {
-        Network victim = consensus.clone();
         FaultSpec spec;
         spec.ber = ber;
         Rng rng(args.seed + 97 * t);
-        const InjectionReport r = inject_layer_weights(victim, li, spec, rng);
+        WeightOverlay overlay;
+        const InjectionReport r = deployed.inject(spec, rng, overlay);
         param_count = r.bits_total / 8;
+        const WeightView view = deployed.view(&overlay);
         double dist = 0.0;
         constexpr std::size_t kEpisodes = 2;
         for (std::size_t d = 0; d < sys.config().n_drones; ++d) {
           Rng ev = Rng(args.seed + t).split(d);
           for (std::size_t k = 0; k < kEpisodes; ++k) {
-            greedy_episode(victim, sys.drone_env(d), ev,
-                           sys.config().env.max_steps);
+            greedy_episode(consensus, sys.drone_env(d), ev,
+                           sys.config().env.max_steps, &view);
             dist += sys.drone_env(d).flight_distance();
           }
         }

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   cfg.trials = args.trials;
   cfg.seed = args.seed;
   cfg.threads = args.threads;
+  cfg.train_threads = args.train_threads;
   if (args.fast) {
     cfg.episodes = 500;
     cfg.columns = {0, 250, 450};

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   cfg.trials = args.trials;
   cfg.seed = args.seed;
   cfg.threads = args.threads;
+  cfg.train_threads = args.train_threads;
   if (args.fast) {
     cfg.episodes = 60;
     cfg.bers = {0.0, 1e-2, 1e-1};

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   gcfg.trials = args.trials;
   gcfg.seed = args.seed;
   gcfg.threads = args.threads;
+  gcfg.train_threads = args.train_threads;
   if (args.fast) {
     gcfg.episodes = 500;
     gcfg.columns = {0, 250, 450};
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   dcfg.trials = args.trials;
   dcfg.seed = args.seed;
   dcfg.threads = args.threads;
+  dcfg.train_threads = args.train_threads;
   if (args.fast) {
     dcfg.episodes = 60;
     dcfg.bers = {0.0, 1e-2, 1e-1};

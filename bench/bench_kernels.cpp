@@ -12,6 +12,12 @@
 ///    clone+mutate+restore vs the overlay plane (per-lane weight views
 ///    through one grouped forward_batch), with a bit-identity check and
 ///    the per-lane memory footprint of both,
+///  * federated round: the batched server round (preallocated row matrix
+///    through transmit_rows/smoothing_average_rows) vs the legacy
+///    vector-of-vectors path with fresh per-round upload vectors, plus
+///    GridWorld train() episode throughput at several engine thread
+///    counts — both with bit-identity gates (batched round == scalar
+///    round; parallel train == serial train),
 ///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
 ///    1000-trial campaign, with a bit-identity check on the stats.
 ///
@@ -33,6 +39,8 @@
 #include "core/parallel.hpp"
 #include "fault/injector.hpp"
 #include "fault/overlay.hpp"
+#include "federated/server.hpp"
+#include "frl/gridworld_system.hpp"
 #include "frl/policies.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/network.hpp"
@@ -99,6 +107,16 @@ struct Trans1Row {
   std::size_t clone_bytes = 0, overlay_bytes = 0;  // per-lane fault state
   bool identical = false;  // overlay logits == clone-and-mutate logits
 };
+struct ServerRoundRow {
+  std::size_t agents = 0, dim = 0;
+  double vov_us = 0.0, rows_us = 0.0, speedup = 0.0;
+  bool identical = false;  // batched round == scalar vector round
+};
+struct TrainRoundRow {
+  std::size_t agents = 0, threads = 0;
+  double episodes_per_s = 0.0, speedup = 0.0;  // vs threads = 1
+  bool identical = false;  // final params == serial train
+};
 struct Report {
   bool quick = false;
   std::vector<ConvRow> conv_forward;
@@ -107,6 +125,8 @@ struct Report {
   std::vector<BatchedRow> batched;
   std::vector<ShardedRow> sharded;
   std::vector<Trans1Row> trans1;
+  std::vector<ServerRoundRow> server_round;
+  std::vector<TrainRoundRow> train_round;
   CampaignRow campaign;
 };
 
@@ -395,6 +415,144 @@ bool bench_trans1(double min_time, Report& report) {
   return all_identical;
 }
 
+// The federated server round: the frozen pre-refactor scalar round —
+// fresh per-round upload vectors through CommChannel::transmit,
+// smoothing_average, mean_parameters (exactly what communicate_if_due +
+// ParameterServer::communicate used to execute) — vs the engine's
+// preallocated row matrix through communicate_rows. The reference is
+// rebuilt from the scalar primitives because ParameterServer::communicate
+// is a wrapper over communicate_rows now; downlinks must agree
+// bit-for-bit.
+bool bench_federated_round(double min_time, Report& report) {
+  std::printf(
+      "\n== Federated server round: vector-of-vectors vs batched row matrix "
+      "==\n");
+  std::printf("(gridworld-policy dim, BER 1e-2, microseconds per round)\n");
+  std::printf("%-8s %8s %12s %12s %8s %14s\n", "agents", "dim", "vov us",
+              "rows us", "speedup", "bit-identical");
+  Rng prng(31);
+  const Network policy = make_gridworld_policy(prng);
+  const std::size_t dim = policy.parameter_count();
+  bool all_identical = true;
+  for (const std::size_t agents : {std::size_t{4}, std::size_t{12}}) {
+    // Base per-agent parameters the per-round gathers copy from.
+    std::vector<std::vector<float>> base(agents);
+    Rng wrng(32);
+    for (auto& row : base) {
+      row.resize(dim);
+      for (auto& v : row) v = static_cast<float>(wrng.uniform(-0.5, 0.5));
+    }
+
+    const AlphaSchedule schedule(agents, 0.5);
+    // Frozen scalar reference round over fresh per-round vectors — the
+    // retired implementation, composed from the scalar primitives.
+    const auto scalar_round = [&](CommChannel& channel, std::size_t round,
+                                  Rng& rng) {
+      std::vector<std::vector<float>> uploads;
+      uploads.reserve(agents);
+      for (const auto& row : base)
+        uploads.push_back(channel.transmit(row, rng));
+      std::vector<std::vector<float>> agg =
+          smoothing_average(uploads, schedule.at(round));
+      const std::vector<float> consensus = mean_parameters(agg);
+      (void)consensus;  // kept for timing parity with the retired round
+      std::vector<std::vector<float>> down;
+      down.reserve(agents);
+      for (const auto& p : agg) down.push_back(channel.transmit(p, rng));
+      return down;
+    };
+
+    CommChannel vov_channel(1e-2);
+    Rng vov_rng(33);
+    std::size_t vov_round = 0;
+    const double t_vov = time_per_call(
+        min_time, [&] { scalar_round(vov_channel, vov_round++, vov_rng); });
+
+    ParameterServer rows_server(agents, dim, schedule);
+    rows_server.channel().set_bit_error_rate(1e-2);
+    Rng rows_rng(33);
+    std::vector<float> matrix(agents * dim);
+    const auto run_rows = [&] {
+      for (std::size_t i = 0; i < agents; ++i)
+        std::copy(base[i].begin(), base[i].end(),
+                  matrix.begin() + static_cast<std::ptrdiff_t>(i * dim));
+      rows_server.communicate_rows(matrix, rows_rng);
+    };
+    const double t_rows = time_per_call(min_time, run_rows);
+
+    // Bit-identity at equal round/rng state: frozen scalar round vs one
+    // batched round on a fresh server.
+    CommChannel ref_channel(1e-2);
+    ParameterServer b(agents, dim, schedule);
+    b.channel().set_bit_error_rate(1e-2);
+    Rng ra(34), rb(34);
+    const auto down = scalar_round(ref_channel, 0, ra);
+    for (std::size_t i = 0; i < agents; ++i)
+      std::copy(base[i].begin(), base[i].end(),
+                matrix.begin() + static_cast<std::ptrdiff_t>(i * dim));
+    b.communicate_rows(matrix, rb);
+    bool identical = ra.next_u64() == rb.next_u64();
+    for (std::size_t i = 0; i < agents && identical; ++i)
+      for (std::size_t d = 0; d < dim && identical; ++d)
+        identical = matrix[i * dim + d] == down[i][d];
+    all_identical = all_identical && identical;
+
+    report.server_round.push_back(
+        {agents, dim, t_vov * 1e6, t_rows * 1e6, t_vov / t_rows, identical});
+    std::printf("%-8zu %8zu %12.2f %12.2f %7.2fx %14s\n", agents, dim,
+                t_vov * 1e6, t_rows * 1e6, t_vov / t_rows,
+                identical ? "YES" : "NO  <-- BUG");
+  }
+  return all_identical;
+}
+
+// GridWorld train() through the round engine at several per-agent episode
+// fan-outs: episodes/sec plus the serial-vs-parallel bit-identity gate.
+// Wall-clock scaling needs real cores; the gate must hold everywhere.
+bool bench_train_round(bool quick, Report& report) {
+  std::printf(
+      "\n== Federated training rounds: train() episodes/sec vs engine "
+      "threads ==\n");
+  std::printf("(gridworld, 12 agents, comm every episode)\n");
+  std::printf("%-8s %8s %16s %10s %14s\n", "agents", "threads", "episodes/s",
+              "speedup", "bit-identical");
+  const std::size_t agents = 12;
+  const std::size_t episodes = quick ? 12 : 60;
+  bool all_identical = true;
+  std::vector<float> serial_params;
+  double serial_eps = 0.0;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    GridWorldFrlSystem::Config cfg;
+    cfg.n_agents = agents;
+    cfg.channel_ber = 1e-3;
+    cfg.threads = threads;
+    GridWorldFrlSystem sys(cfg, 77);
+    const auto t0 = Clock::now();
+    sys.train(episodes);
+    const double dt = seconds_since(t0);
+    const double eps = static_cast<double>(episodes) / dt;
+    const std::vector<float> params = sys.agent_network(0).flat_parameters();
+    bool identical = true;
+    if (threads == 1) {
+      serial_params = params;
+      serial_eps = eps;
+    } else {
+      identical = params == serial_params;
+      all_identical = all_identical && identical;
+    }
+    report.train_round.push_back(
+        {agents, threads, eps, eps / serial_eps, identical});
+    std::printf("%-8zu %8zu %16.1f %9.2fx %14s\n", agents, threads, eps,
+                eps / serial_eps, identical ? "YES" : "NO  <-- BUG");
+  }
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf(
+        "note: single-core container — per-round parallelism cannot show "
+        "wall-clock speedup here; bit-identity is the asserted property.\n");
+  return all_identical;
+}
+
 // Emit the collected measurements as JSON (hand-rolled: flat schema, ASCII
 // labels only) so CI and future PRs can diff kernel performance.
 void write_json(const Report& r, const char* path) {
@@ -461,7 +619,29 @@ void write_json(const Report& r, const char* path) {
                  row.identical ? "true" : "false",
                  i + 1 < r.trans1.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"hardware_threads\": %u,\n",
+  std::fprintf(f, "  ],\n  \"federated_round\": {\n    \"server_round\": [\n");
+  for (std::size_t i = 0; i < r.server_round.size(); ++i) {
+    const auto& row = r.server_round[i];
+    std::fprintf(f,
+                 "      {\"agents\": %zu, \"dim\": %zu, \"vov_us\": %.4f, "
+                 "\"rows_us\": %.4f, \"speedup\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 row.agents, row.dim, row.vov_us, row.rows_us, row.speedup,
+                 row.identical ? "true" : "false",
+                 i + 1 < r.server_round.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n    \"train\": [\n");
+  for (std::size_t i = 0; i < r.train_round.size(); ++i) {
+    const auto& row = r.train_round[i];
+    std::fprintf(f,
+                 "      {\"agents\": %zu, \"threads\": %zu, "
+                 "\"episodes_per_s\": %.2f, \"speedup_vs_1thread\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 row.agents, row.threads, row.episodes_per_s, row.speedup,
+                 row.identical ? "true" : "false",
+                 i + 1 < r.train_round.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f,
                "  \"campaign\": {\"trials\": %zu, \"threads\": %zu, "
@@ -574,7 +754,9 @@ int main(int argc, char** argv) {
   // Trans-1 overlay-vs-clone bit-identity.
   const bool sharded_ok = frlfi::bench_sharded(min_time, report);
   const bool trans1_ok = frlfi::bench_trans1(min_time, report);
+  const bool round_ok = frlfi::bench_federated_round(min_time, report);
+  const bool train_ok = frlfi::bench_train_round(quick, report);
   const bool identical = frlfi::bench_campaign(trials, threads, report);
   frlfi::write_json(report, "BENCH_kernels.json");
-  return identical && sharded_ok && trans1_ok ? 0 : 1;
+  return identical && sharded_ok && trans1_ok && round_ok && train_ok ? 0 : 1;
 }

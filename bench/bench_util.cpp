@@ -22,9 +22,14 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       args.threads = static_cast<std::size_t>(
           std::strtoull(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--train-threads=", 0) == 0) {
+      args.train_threads = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 16, nullptr, 10));
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--trials=N] [--seed=N] [--fast] [--threads=N]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--trials=N] [--seed=N] [--fast] [--threads=N] "
+          "[--train-threads=N]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s (try --help)\n", arg.c_str());

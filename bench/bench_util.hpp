@@ -9,6 +9,12 @@
 ///   --fast       cut sweep resolution for smoke runs
 ///   --threads=N  worker lanes for pool-parallel campaign cells
 ///                (default 1 = serial; 0 = FRLFI_NUM_THREADS / hardware)
+///   --train-threads=N  worker lanes for the per-agent local episodes
+///                inside each system's train() (the federated round
+///                engine; default 1 = serial, 0 = auto). Composes with
+///                --threads: cells fan across the pool AND each cell's
+///                training rounds fan their agents. Results are
+///                bit-identical for every combination.
 /// and prints the table/figure it reproduces with paper-vs-measured notes.
 
 #include <cstdint>
@@ -24,6 +30,9 @@ struct BenchArgs {
   /// Campaign-cell fan-out (heatmap sweeps): 1 serial, 0 auto, N explicit.
   /// Results are bit-identical for every value.
   std::size_t threads = 1;
+  /// Per-agent episode fan-out inside train() (round engine): 1 serial,
+  /// 0 auto, N explicit. Also bit-identical for every value.
+  std::size_t train_threads = 1;
 
   /// Parse argv; unknown flags abort with a usage message.
   static BenchArgs parse(int argc, char** argv);

@@ -50,7 +50,8 @@ Heatmap run_drone_training_sweep(const DroneSweepConfig& cfg) {
     map.set_col_keys(std::move(col_keys));
   }
 
-  const DroneFrlSystem::Config sys_cfg = bench_drone_config(cfg.n_drones);
+  DroneFrlSystem::Config sys_cfg = bench_drone_config(cfg.n_drones);
+  sys_cfg.threads = cfg.train_threads;
 
   // Cells are independent (same seeds per cell regardless of lane; the
   // offline pretraining is shared through the thread-safe per-key cache),

@@ -36,6 +36,10 @@ struct DroneSweepConfig {
   /// 1 serial, 0 auto, N explicit). Cells share only the thread-safe
   /// pretraining cache, so metrics are bit-identical for every value.
   std::size_t threads = 1;
+  /// Worker lanes for the per-drone episodes inside each cell's train()
+  /// (DroneFrlSystem::Config::threads — the federated round engine).
+  /// Composes with `threads`, bit-identical for every value.
+  std::size_t train_threads = 1;
   /// Enable mitigation (Fig. 7b); paper parameters p=25, k=200 (k scaled).
   bool mitigation = false;
 };

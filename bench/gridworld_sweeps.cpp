@@ -53,6 +53,7 @@ Heatmap run_gridworld_training_sweep(const GridSweepConfig& cfg) {
 
   GridWorldFrlSystem::Config sys_cfg;
   sys_cfg.n_agents = cfg.n_agents;
+  sys_cfg.threads = cfg.train_threads;
 
   // Every (BER, episode) cell trains its own systems from its own seeds —
   // no shared mutable state — so the grid fans across the pool and the

@@ -37,6 +37,12 @@ struct GridSweepConfig {
   /// (run_cell_campaign: 1 serial, 0 auto, N explicit; metrics are
   /// bit-identical for every value).
   std::size_t threads = 1;
+  /// Worker lanes for the per-agent episodes inside each cell's train()
+  /// (GridWorldFrlSystem::Config::threads — the federated round engine).
+  /// Composes with `threads` and is likewise bit-identical for every
+  /// value; avoid stacking explicit counts at both levels on small
+  /// machines (real extra threads, see campaign.hpp).
+  std::size_t train_threads = 1;
   /// Enable server checkpointing + reward-drop detection (Fig. 7a);
   /// paper parameters p=25, k=50 (k scaled to the episode budget).
   bool mitigation = false;

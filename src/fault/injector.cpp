@@ -76,20 +76,28 @@ std::size_t stick_bits_ber(std::span<std::uint8_t> bytes, double ber,
   return changed;
 }
 
-InjectionReport inject_int8(std::vector<float>& weights, const FaultSpec& spec,
+InjectionReport inject_int8(std::span<float> weights, const FaultSpec& spec,
                             Rng& rng, float headroom) {
   FRLFI_CHECK_MSG(headroom >= 1.0f, "headroom " << headroom);
   InjectionReport report;
   if (weights.empty()) return report;
-  const Int8Quantizer base = Int8Quantizer::calibrate(weights);
+  const Int8Quantizer base = Int8Quantizer::calibrate(
+      std::span<const float>(weights.data(), weights.size()));
   const Int8Quantizer q(base.scale() * headroom);
-  std::vector<std::int8_t> qs = q.quantize(weights);
+  std::vector<std::int8_t> qs(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) qs[i] = q.quantize(weights[i]);
   auto bytes = std::span<std::uint8_t>(
       reinterpret_cast<std::uint8_t*>(qs.data()), qs.size());
   report.bits_total = bit_count(bytes);
   report.bits_flipped = corrupt_bits(bytes, spec, rng);
-  weights = q.dequantize(qs);
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = q.dequantize(qs[i]);
   return report;
+}
+
+InjectionReport inject_int8(std::vector<float>& weights, const FaultSpec& spec,
+                            Rng& rng, float headroom) {
+  return inject_int8(std::span<float>(weights), spec, rng, headroom);
 }
 
 FixedPointFlipper::FixedPointFlipper(const FaultSpec& spec, int word_bits)
@@ -187,22 +195,72 @@ InjectionReport inject_fixed_point_reference(std::vector<float>& weights,
 
 InjectionReport inject_network_weights(Network& net, const FaultSpec& spec,
                                        Rng& rng) {
-  std::vector<float> flat = net.flat_parameters();
-  const InjectionReport report = inject_int8(flat, spec, rng);
+  // Overlay-plane route: deployed image + sparse flip set, materialized
+  // back into the network (training faults persist). base()+overlay is
+  // bit-identical to the historical flatten → inject_int8 → restore path
+  // (tests/test_fault_overlay.cpp), so nothing downstream moves — but a
+  // campaign replaying many fault plans over one trained snapshot can now
+  // share the image read-only and keep only overlays per plan.
+  const DeployedWeights deployed =
+      DeployedWeights::int8_image(net.flat_parameters());
+  WeightOverlay overlay;
+  const InjectionReport report = deployed.inject(spec, rng, overlay);
+  std::vector<float> flat = deployed.base();
+  overlay.apply_to(flat);
   net.set_flat_parameters(flat);
+  return report;
+}
+
+LayerDeployedWeights::LayerDeployedWeights(Network& net,
+                                           std::size_t layer_index)
+    : base_(net.flat_parameters()) {
+  layer_begin_ = net.layer_offset(layer_index);
+  std::size_t offset = layer_begin_;
+  for (Parameter* p : net.layer(layer_index).parameters()) {
+    const std::vector<float>& w = p->value.data();
+    TensorImage img;
+    img.offset = offset;
+    // Exactly inject_int8's per-tensor representation at headroom 1.
+    img.scale = Int8Quantizer::calibrate(w).scale();
+    const Int8Quantizer q(img.scale);
+    img.words = q.quantize(w);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      base_[offset + i] = q.dequantize(img.words[i]);
+    offset += w.size();
+    tensors_.push_back(std::move(img));
+  }
+  layer_end_ = offset;
+}
+
+InjectionReport LayerDeployedWeights::inject(const FaultSpec& spec, Rng& rng,
+                                             WeightOverlay& out) const {
+  out.clear();
+  InjectionReport report;
+  for (const TensorImage& img : tensors_) {
+    // Same byte stream as the per-tensor in-place loop: corrupt a copy of
+    // the clean words with the shared temporal-model dispatcher, then
+    // record only the words that changed.
+    std::vector<std::int8_t> words = img.words;
+    auto bytes = std::span<std::uint8_t>(
+        reinterpret_cast<std::uint8_t*>(words.data()), words.size());
+    report.bits_total += bit_count(bytes);
+    report.bits_flipped += corrupt_bits(bytes, spec, rng);
+    const Int8Quantizer q(img.scale);
+    for (std::size_t i = 0; i < words.size(); ++i)
+      if (words[i] != img.words[i])
+        out.add(img.offset + i, q.dequantize(words[i]));
+  }
   return report;
 }
 
 InjectionReport inject_layer_weights(Network& net, std::size_t layer_index,
                                      const FaultSpec& spec, Rng& rng) {
-  InjectionReport report;
-  auto params = net.layer(layer_index).parameters();
-  for (Parameter* p : params) {
-    std::vector<float>& w = p->value.data();
-    const InjectionReport r = inject_int8(w, spec, rng);
-    report.bits_flipped += r.bits_flipped;
-    report.bits_total += r.bits_total;
-  }
+  const LayerDeployedWeights deployed(net, layer_index);
+  WeightOverlay overlay;
+  const InjectionReport report = deployed.inject(spec, rng, overlay);
+  std::vector<float> flat = deployed.base();
+  overlay.apply_to(flat);
+  net.set_flat_parameters(flat);
   return report;
 }
 

@@ -65,13 +65,17 @@ class FixedPointFlipper {
 
 /// Corrupt a float buffer through its int8-quantized representation
 /// according to the spec's model/BER/direction. The buffer is modified in
-/// place.
+/// place. The span form is the core — it lets the federated round engine
+/// inject server faults directly into rows of the round matrix without
+/// materializing per-agent vectors.
 ///
 /// `headroom` scales the quantization range beyond max|w| (default 1 =
 /// tight calibration). Online-fine-tuned deployments use a fixed scale
 /// with headroom so growing weights stay representable; flips into the
 /// high bits of such words produce values up to headroom * max|w| — the
 /// out-of-range outliers the §V-B range detector exists to catch.
+InjectionReport inject_int8(std::span<float> weights, const FaultSpec& spec,
+                            Rng& rng, float headroom = 1.0f);
 InjectionReport inject_int8(std::vector<float>& weights, const FaultSpec& spec,
                             Rng& rng, float headroom = 1.0f);
 
@@ -91,12 +95,64 @@ InjectionReport inject_fixed_point_reference(std::vector<float>& weights,
                                              const FixedPointFormat& format,
                                              const FaultSpec& spec, Rng& rng);
 
-/// Corrupt every parameter tensor of a network in the int8 domain.
+/// Corrupt every parameter tensor of a network in the int8 domain. Routed
+/// through the overlay plane (DeployedWeights::inject + a materialized
+/// base+overlay) — bit-identical to the historical flatten → inject_int8 →
+/// restore path, which tests/test_fault_overlay.cpp keeps as the frozen
+/// reference. Training faults persist, so the result is still written
+/// into the network.
 InjectionReport inject_network_weights(Network& net, const FaultSpec& spec,
                                        Rng& rng);
 
+/// Layer-scoped deployment image for the per-layer vulnerability ablation
+/// (§IV-C): the network's clean flat parameters with layer `layer_index`'s
+/// span replaced by its per-tensor int8 quantize→dequantize images —
+/// exactly the representation the in-place inject_layer_weights deploys
+/// (one calibration per parameter tensor, in layer parameter order).
+/// Immutable after construction; inject() is const and draws the same RNG
+/// stream as the in-place path, producing a WeightOverlay confined to the
+/// layer's flat span — so base()+overlay is bit-for-bit the parameter
+/// vector inject_layer_weights would have written, and one trained
+/// snapshot can replay many per-layer fault plans read-only through
+/// views() instead of being cloned per trial (bench_ablation_layers).
+class LayerDeployedWeights {
+ public:
+  LayerDeployedWeights(Network& net, std::size_t layer_index);
+
+  /// The effective clean parameters: original floats everywhere except
+  /// the target layer, which reads its deployed (dequantized) image.
+  const std::vector<float>& base() const { return base_; }
+
+  /// Flat index range [begin, end) of the target layer's parameters.
+  std::size_t layer_begin() const { return layer_begin_; }
+  std::size_t layer_end() const { return layer_end_; }
+
+  /// A WeightView of base() with `overlay` on top (overlay may be null).
+  WeightView view(const WeightOverlay* overlay) const {
+    return WeightView{base_.data(), base_.size(), overlay};
+  }
+
+  /// One fault through the layer's deployed words, recorded into `out`
+  /// (cleared first); consumes `rng` exactly as inject_layer_weights does.
+  InjectionReport inject(const FaultSpec& spec, Rng& rng,
+                         WeightOverlay& out) const;
+
+ private:
+  struct TensorImage {
+    std::size_t offset = 0;  // flat index of the tensor's first parameter
+    float scale = 1.0f;      // per-tensor calibrated dequantization step
+    std::vector<std::int8_t> words;  // clean quantized words
+  };
+  std::vector<float> base_;
+  std::vector<TensorImage> tensors_;
+  std::size_t layer_begin_ = 0;
+  std::size_t layer_end_ = 0;
+};
+
 /// Corrupt only the parameters of layer `layer_index` (per-layer
-/// vulnerability ablation).
+/// vulnerability ablation). Routed through LayerDeployedWeights — the
+/// same per-tensor representation and RNG stream as the historical
+/// per-tensor in-place loop, materialized back into the network.
 InjectionReport inject_layer_weights(Network& net, std::size_t layer_index,
                                      const FaultSpec& spec, Rng& rng);
 

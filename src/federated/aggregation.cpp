@@ -1,8 +1,10 @@
 #include "federated/aggregation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/error.hpp"
+#include "tensor/gemm.hpp"
 
 namespace frlfi {
 
@@ -48,6 +50,30 @@ std::vector<std::vector<float>> smoothing_average(
   return out;
 }
 
+void smoothing_average_rows(const float* uploads, float* out,
+                            float* total_scratch, std::size_t n,
+                            std::size_t dim, double alpha) {
+  FRLFI_CHECK_MSG(n >= 2, "smoothing_average needs >= 2 agents");
+  FRLFI_CHECK_MSG(alpha > 0.0 && alpha < 1.0, "alpha " << alpha);
+  const float beta =
+      static_cast<float>((1.0 - alpha) / static_cast<double>(n - 1));
+  const auto alpha_f = static_cast<float>(alpha);
+
+  // sum_j theta_j accumulated row by row in agent order (alpha = 1.0f
+  // multiplies exactly), matching the scalar reference's summation chain.
+  std::fill(total_scratch, total_scratch + dim, 0.0f);
+  for (std::size_t i = 0; i < n; ++i)
+    axpy(1.0f, uploads + i * dim, total_scratch, dim);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* FRLFI_RESTRICT self = uploads + i * dim;
+    float* FRLFI_RESTRICT dst = out + i * dim;
+#pragma omp simd
+    for (std::size_t d = 0; d < dim; ++d)
+      dst[d] = alpha_f * self[d] + beta * (total_scratch[d] - self[d]);
+  }
+}
+
 std::vector<float> mean_parameters(
     const std::vector<std::vector<float>>& uploads) {
   FRLFI_CHECK(!uploads.empty());
@@ -60,6 +86,16 @@ std::vector<float> mean_parameters(
   const auto inv = static_cast<float>(1.0 / static_cast<double>(uploads.size()));
   for (auto& v : mean) v *= inv;
   return mean;
+}
+
+void mean_parameters_rows(const float* rows, std::size_t n, std::size_t dim,
+                          float* mean) {
+  FRLFI_CHECK(n >= 1);
+  std::fill(mean, mean + dim, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) axpy(1.0f, rows + i * dim, mean, dim);
+  const auto inv = static_cast<float>(1.0 / static_cast<double>(n));
+#pragma omp simd
+  for (std::size_t d = 0; d < dim; ++d) mean[d] *= inv;
 }
 
 }  // namespace frlfi

@@ -37,12 +37,30 @@ class AlphaSchedule {
 
 /// One smoothing-average round: given each agent's uploaded parameter
 /// vector theta_i^{k-}, returns the n per-agent results theta_i^{k+}.
-/// All vectors must be the same length; n >= 2.
+/// All vectors must be the same length; n >= 2. This is the scalar golden
+/// reference the row-matrix kernel below is locked against.
 std::vector<std::vector<float>> smoothing_average(
     const std::vector<std::vector<float>>& uploads, double alpha);
+
+/// Batched smoothing average over a row-major n x dim upload matrix (row i
+/// = agent i's parameters), writing the n per-agent results into the
+/// row-major `out` (same shape; must not alias `uploads`). `total_scratch`
+/// must hold dim floats (the caller — ParameterServer — preallocates it so
+/// a round allocates nothing). Runs on the axpy kernel with the exact
+/// accumulation order of the scalar reference (rows in agent order), so
+/// the results are bit-identical to smoothing_average of the same rows.
+void smoothing_average_rows(const float* uploads, float* out,
+                            float* total_scratch, std::size_t n,
+                            std::size_t dim, double alpha);
 
 /// Plain mean of the uploaded vectors (the consensus policy; used by the
 /// checkpointing scheme and the Table I spread statistic).
 std::vector<float> mean_parameters(const std::vector<std::vector<float>>& uploads);
+
+/// mean_parameters over a row-major n x dim matrix, written into `mean`
+/// (dim floats). Same row-order accumulation — bit-identical to the
+/// vector-of-vectors form.
+void mean_parameters_rows(const float* rows, std::size_t n, std::size_t dim,
+                          float* mean);
 
 }  // namespace frlfi

@@ -1,10 +1,12 @@
 #include "federated/channel.hpp"
 
+#include <bit>
 #include <span>
 
 #include "core/error.hpp"
 #include "fault/injector.hpp"
 #include "numeric/quantize.hpp"
+#include "tensor/gemm.hpp"  // FRLFI_RESTRICT
 
 namespace frlfi {
 
@@ -44,6 +46,32 @@ std::vector<float> CommChannel::transmit(const std::vector<float>& payload,
     if (touched) v = q.dequantize(static_cast<std::int8_t>(word));
   }
   return out;
+}
+
+void CommChannel::transmit_rows(float* rows, std::size_t n_rows,
+                                std::size_t dim, Rng& rng) {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    ++messages_;
+    if (dim == 0) continue;  // empty payload: counted, no bytes (as scalar)
+    bytes_ += dim + sizeof(float);
+    if (ber_ <= 0.0) continue;
+    float* FRLFI_RESTRICT row = rows + r * dim;
+    // Per-row calibration, exactly the scalar transmit's codec.
+    const Int8Quantizer q =
+        Int8Quantizer::calibrate(std::span<const float>(row, dim));
+    for (std::size_t d = 0; d < dim; ++d) {
+      const std::uint8_t word = static_cast<std::uint8_t>(q.quantize(row[d]));
+      // Same Bernoulli stream as the scalar loop (one draw per bit,
+      // always), hits collected into one mask and applied with one XOR.
+      std::uint8_t mask = 0;
+      for (int b = 0; b < 8; ++b)
+        if (rng.bernoulli(ber_)) mask = static_cast<std::uint8_t>(mask | (1u << b));
+      if (mask != 0) {
+        corrupted_ += static_cast<std::size_t>(std::popcount(mask));
+        row[d] = q.dequantize(static_cast<std::int8_t>(word ^ mask));
+      }
+    }
+  }
 }
 
 void CommChannel::reset_counters() {

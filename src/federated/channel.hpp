@@ -24,7 +24,19 @@ class CommChannel {
   /// Transmit a parameter vector: quantize to int8, flip bits at the
   /// channel BER, dequantize. Clean channels still round-trip through
   /// int8 — the over-the-air representation is quantized either way.
+  /// This is the scalar golden reference transmit_rows is locked against.
   std::vector<float> transmit(const std::vector<float>& payload, Rng& rng);
+
+  /// Transmit n_rows payloads held in a row-major n_rows x dim matrix, in
+  /// place — the batched uplink/downlink of a federated round. Row i is
+  /// processed exactly as transmit(row i) would be (per-row calibration,
+  /// one 8-draw Bernoulli word per element in row-major order), but the
+  /// per-element flips collapse into a single XOR mask (the fixed-point
+  /// injector's mask trick) and no per-row payload vectors are
+  /// allocated. Consumes `rng` identically to n_rows scalar transmits, so
+  /// the delivered bits and every counter match the scalar path.
+  void transmit_rows(float* rows, std::size_t n_rows, std::size_t dim,
+                     Rng& rng);
 
   /// Channel BER currently in force.
   double bit_error_rate() const { return ber_; }

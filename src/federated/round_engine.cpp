@@ -1,0 +1,196 @@
+#include "federated/round_engine.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/parallel.hpp"
+#include "fault/injector.hpp"
+
+namespace frlfi {
+
+FederatedRoundEngine::FederatedRoundEngine(const Config& cfg,
+                                           std::uint64_t seed,
+                                           std::uint64_t stream_tag,
+                                           Hooks hooks)
+    : cfg_(cfg),
+      hooks_(std::move(hooks)),
+      train_rng_(Rng(seed).split(stream_tag)),
+      checkpoints_(5) {
+  FRLFI_CHECK_MSG(cfg_.n_agents >= 1, "need at least one agent");
+  FRLFI_CHECK(cfg_.comm_interval >= 1);
+  FRLFI_CHECK(cfg_.comm_interval_boost >= 1);
+  FRLFI_CHECK(cfg_.parameter_dim > 0);
+  FRLFI_CHECK_MSG(hooks_.run_episode && hooks_.gather_params &&
+                      hooks_.scatter_params && hooks_.inject_agent,
+                  "round engine needs all four agent hooks");
+  rewards_.resize(cfg_.n_agents);
+  // Same lane count dispatch_lanes would pick for an explicit request
+  // (min(N, n), never more lanes than agents), but the pool persists
+  // across every episode of the training run.
+  if (cfg_.threads > 1 && cfg_.n_agents > 1)
+    episode_pool_ = std::make_unique<ThreadPool>(
+        std::min(cfg_.threads, cfg_.n_agents));
+
+  if (cfg_.n_agents >= 2) {
+    server_.emplace(
+        cfg_.n_agents, cfg_.parameter_dim,
+        AlphaSchedule(cfg_.n_agents, cfg_.alpha0, cfg_.alpha_tau));
+    server_->channel().set_bit_error_rate(cfg_.channel_ber);
+    round_matrix_.resize(cfg_.n_agents * cfg_.parameter_dim);
+    // Server faults corrupt the aggregated rows in place, row by row on
+    // one stream — the exact arithmetic and RNG order of the historical
+    // per-agent-vector hook (inject_int8 is span-based now).
+    server_->set_post_aggregate_rows_hook(
+        [this](std::size_t /*round*/, std::span<float> rows,
+               std::size_t dim) {
+          if (!server_fault_pending_) return;
+          server_fault_pending_ = false;
+          Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+          for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+            inject_int8(rows.subspan(i * dim, dim), fault_plan_.spec,
+                        fault_rng);
+        });
+  }
+}
+
+void FederatedRoundEngine::set_fault_plan(const TrainingFaultPlan& plan) {
+  if (plan.active && plan.spec.site == FaultSite::AgentFault)
+    FRLFI_CHECK_MSG(plan.spec.agent_index < cfg_.n_agents,
+                    "agent_index " << plan.spec.agent_index);
+  fault_plan_ = plan;
+}
+
+void FederatedRoundEngine::set_mitigation(const MitigationPlan& plan) {
+  mitigation_ = plan;
+  if (plan.enabled) {
+    monitor_.emplace(cfg_.n_agents, plan.detector);
+    checkpoints_ = CheckpointStore(plan.checkpoint_interval);
+    mit_stats_ = MitigationStats{};
+  } else {
+    monitor_.reset();
+  }
+}
+
+std::size_t FederatedRoundEngine::effective_comm_interval() const {
+  if (episode_ >= cfg_.boost_after_episode)
+    return cfg_.comm_interval * cfg_.comm_interval_boost;
+  return cfg_.comm_interval;
+}
+
+void FederatedRoundEngine::inject_training_fault_if_due() {
+  if (!fault_plan_.active || episode_ != fault_plan_.spec.episode) return;
+  switch (fault_plan_.spec.site) {
+    case FaultSite::AgentFault: {
+      // In the single-agent system every fault hits the lone agent.
+      const std::size_t victim =
+          std::min(fault_plan_.spec.agent_index, cfg_.n_agents - 1);
+      Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+      hooks_.inject_agent(victim, fault_plan_.spec, fault_rng);
+      break;
+    }
+    case FaultSite::ServerFault: {
+      if (server_) {
+        // Corrupts the aggregated state at the next communication round.
+        server_fault_pending_ = true;
+      } else {
+        // No server in the single-agent system: the fault hits the agent.
+        Rng fault_rng = train_rng_.split(0xFA017 + episode_);
+        hooks_.inject_agent(0, fault_plan_.spec, fault_rng);
+      }
+      break;
+    }
+    case FaultSite::Activations:
+      // Training-time activation faults are exercised through the Network
+      // activation hook by dedicated experiments; not part of the
+      // episode-indexed plan.
+      break;
+  }
+}
+
+void FederatedRoundEngine::communicate_if_due() {
+  if (!server_) return;
+  if ((episode_ + 1) % effective_comm_interval() != 0) return;
+
+  const std::size_t dim = cfg_.parameter_dim;
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+    hooks_.gather_params(
+        i, std::span<float>(round_matrix_.data() + i * dim, dim));
+
+  Rng comm_rng = train_rng_.split(0xC0111 + episode_);
+  server_->communicate_rows(round_matrix_, comm_rng);
+
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+    hooks_.scatter_params(
+        i, std::span<const float>(round_matrix_.data() + i * dim, dim));
+
+  // Checkpoint the (pre-fault) consensus, pausing while the detector is
+  // suspicious so recovery state stays clean.
+  if (mitigation_.enabled && !(monitor_ && monitor_->suspicious())) {
+    if (checkpoints_.offer(server_->round(), server_->consensus()))
+      ++mit_stats_.checkpoints_taken;
+  }
+}
+
+void FederatedRoundEngine::apply_mitigation(
+    const std::vector<double>& rewards) {
+  if (!mitigation_.enabled || !monitor_) return;
+  const DetectedFault verdict = monitor_->observe(rewards);
+  if (verdict == DetectedFault::None || !checkpoints_.has_checkpoint()) return;
+
+  if (verdict == DetectedFault::Agent) {
+    const std::vector<float>& cp = checkpoints_.restore();
+    for (std::size_t agent : monitor_->flagged_agents())
+      hooks_.scatter_params(agent, std::span<const float>(cp));
+    ++mit_stats_.agent_recoveries;
+  } else {
+    // Server fault: revert every agent to the checkpointed consensus
+    // (equivalent to reverting the server and broadcasting).
+    const std::vector<float>& cp = checkpoints_.restore();
+    for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+      hooks_.scatter_params(i, std::span<const float>(cp));
+    ++mit_stats_.server_recoveries;
+  }
+  monitor_->acknowledge();
+}
+
+void FederatedRoundEngine::run_training_episode() {
+  // Local episodes: agents own disjoint state and per-(episode, agent)
+  // derived streams (split never advances train_rng_), so the lane
+  // partition cannot change a bit — threads == 1 is the historical
+  // serial loop.
+  std::fill(rewards_.begin(), rewards_.end(), 0.0);
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Rng ep_rng = train_rng_.split(episode_ * 1000003ULL + i);
+      rewards_[i] = hooks_.run_episode(i, episode_, ep_rng);
+    }
+  };
+  if (episode_pool_) {
+    // parallel_for's static partition is the same shard_range split
+    // dispatch_lanes would produce — and the partition is invisible
+    // anyway (see above).
+    episode_pool_->parallel_for(cfg_.n_agents, body);
+  } else {
+    dispatch_lanes(cfg_.threads, cfg_.n_agents, body);
+  }
+  inject_training_fault_if_due();
+  communicate_if_due();
+  apply_mitigation(rewards_);
+  ++episode_;
+}
+
+void FederatedRoundEngine::train(std::size_t episodes) {
+  for (std::size_t e = 0; e < episodes; ++e) run_training_episode();
+}
+
+void FederatedRoundEngine::restore_position(std::size_t episode,
+                                            std::size_t round) {
+  episode_ = episode;
+  if (server_) server_->set_round(round);
+  server_fault_pending_ = false;
+  // Detector baselines and checkpoints describe the pre-restore timeline;
+  // start the mitigation machinery afresh.
+  if (mitigation_.enabled) set_mitigation(mitigation_);
+}
+
+}  // namespace frlfi

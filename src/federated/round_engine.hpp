@@ -1,0 +1,169 @@
+#pragma once
+
+/// \file round_engine.hpp
+/// The shared federated training-round engine: one implementation of the
+/// episode → fault → communicate → mitigation orchestration that both
+/// paper systems (GridWorldFrlSystem, DroneFrlSystem) used to duplicate.
+/// A concrete system supplies four agent-local callbacks — run one local
+/// training episode, gather/scatter its flat parameters, and corrupt one
+/// agent in place — and the engine owns everything between them:
+///
+///  * **Pool-parallel local episodes.** Agents own disjoint env/network/
+///    learner state and every episode draws the derived stream
+///    `train_rng.split(episode * 1000003 + agent)`; Rng::split never
+///    advances the parent, so fanning agents across core/parallel's
+///    dispatch_lanes (Config::threads: 1 serial, 0 auto, N explicit)
+///    produces bit-identical training for every thread count.
+///  * **The batched server round.** Uploads gather straight into a
+///    preallocated row-major n x dim round matrix (no per-agent
+///    flat_parameters() vectors), ParameterServer::communicate_rows runs
+///    the uplink/smoothing/hook/downlink on row kernels, and downlinks
+///    scatter back from the same rows.
+///  * **Training faults and §V-A mitigation.** Fault timing, victim
+///    resolution, the post-aggregate server-fault row hook (in-place
+///    int8 injection over the aggregate rows on the historical RNG
+///    stream), the reward-drop monitor and the checkpoint store.
+///
+/// The engine is deliberately ignorant of environments, learners and
+/// network topology — that is the whole system-specific surface, and it
+/// stays in the systems.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+#include "federated/server.hpp"
+#include "frl/plans.hpp"
+#include "mitigation/checkpoint.hpp"
+#include "mitigation/reward_monitor.hpp"
+
+namespace frlfi {
+
+/// Orchestrates federated training rounds over n agent-local callbacks.
+class FederatedRoundEngine {
+ public:
+  struct Config {
+    /// Number of agents; 1 selects the serverless single-agent system.
+    std::size_t n_agents = 1;
+    /// Flat parameter vector length (row width of the round matrix).
+    std::size_t parameter_dim = 0;
+    /// Episodes between communication rounds.
+    std::size_t comm_interval = 1;
+    /// After this episode the interval multiplies by comm_interval_boost
+    /// (DroneNav Fig. 6b; defaults disable the boost).
+    std::size_t boost_after_episode = std::size_t(-1);
+    std::size_t comm_interval_boost = 1;
+    /// Smoothing-average schedule.
+    double alpha0 = 0.5;
+    double alpha_tau = 150.0;
+    /// Channel bit error rate (0 = clean links).
+    double channel_ber = 0.0;
+    /// Worker lanes for the per-agent local episodes: 1 = strictly serial
+    /// on the calling thread (the historical loop), 0 = FRLFI_NUM_THREADS /
+    /// hardware, N = exactly N. train() results are bit-identical for
+    /// every value — per-(episode, agent) derived RNG streams plus
+    /// disjoint agent state make the lane partition invisible.
+    std::size_t threads = 1;
+  };
+
+  /// Agent-local callbacks. All four are required. With Config::threads
+  /// != 1, run_episode is invoked concurrently for distinct agents and
+  /// must only touch agent-local state (plus thread-safe shared caches).
+  struct Hooks {
+    /// Run agent `agent`'s local training episode for `episode` on its
+    /// derived stream; returns the episode's total reward.
+    std::function<double(std::size_t agent, std::size_t episode, Rng& rng)>
+        run_episode;
+    /// Write the agent's current flat parameters into `out` (row of the
+    /// round matrix, parameter_dim floats).
+    std::function<void(std::size_t agent, std::span<float> out)> gather_params;
+    /// Load flat parameters into the agent (downlink / checkpoint
+    /// recovery).
+    std::function<void(std::size_t agent, std::span<const float> params)>
+        scatter_params;
+    /// Corrupt agent `victim`'s weights in place per `spec` (training
+    /// faults persist into subsequent episodes).
+    std::function<void(std::size_t victim, const FaultSpec& spec, Rng& rng)>
+        inject_agent;
+  };
+
+  /// `stream_tag` selects the system's training RNG stream:
+  /// train_rng = Rng(seed).split(stream_tag) — the tag each system has
+  /// always used, so engine-driven training replays historical bits.
+  FederatedRoundEngine(const Config& cfg, std::uint64_t seed,
+                       std::uint64_t stream_tag, Hooks hooks);
+
+  /// Arm (or disarm, with plan.active = false) a training-time fault.
+  void set_fault_plan(const TrainingFaultPlan& plan);
+
+  /// Enable/disable the §V-A mitigation scheme (resets its state).
+  void set_mitigation(const MitigationPlan& plan);
+
+  /// Train for `episodes` more episodes (continues from the current
+  /// episode counter; faults whose episode falls inside the range fire).
+  void train(std::size_t episodes);
+
+  /// Episodes completed so far.
+  std::size_t episode() const { return episode_; }
+
+  /// Communication rounds completed (0 without a server).
+  std::size_t round() const { return server_ ? server_->round() : 0; }
+
+  /// Uplink+downlink bytes so far (0 without a server).
+  std::size_t communication_bytes() const {
+    return server_ ? server_->channel().bytes_sent() : 0;
+  }
+
+  /// The server (null for the single-agent system).
+  ParameterServer* server() { return server_ ? &*server_ : nullptr; }
+  const ParameterServer* server() const {
+    return server_ ? &*server_ : nullptr;
+  }
+
+  /// Mitigation counters.
+  const MitigationStats& mitigation_stats() const { return mit_stats_; }
+
+  /// Reposition the training timeline after a snapshot restore: sets the
+  /// episode/round counters, clears any pending server fault, and (when
+  /// mitigation is enabled) restarts the detector/checkpoint machinery —
+  /// their history describes the pre-restore timeline.
+  void restore_position(std::size_t episode, std::size_t round);
+
+  /// The configuration in force.
+  const Config& config() const { return cfg_; }
+
+ private:
+  void run_training_episode();
+  void inject_training_fault_if_due();
+  void communicate_if_due();
+  void apply_mitigation(const std::vector<double>& rewards);
+  std::size_t effective_comm_interval() const;
+
+  Config cfg_;
+  Hooks hooks_;
+  Rng train_rng_;
+  std::optional<ParameterServer> server_;
+  TrainingFaultPlan fault_plan_;
+  MitigationPlan mitigation_;
+  std::optional<RewardDropMonitor> monitor_;
+  CheckpointStore checkpoints_;
+  MitigationStats mit_stats_;
+  // Preallocated n x dim round matrix (empty without a server) and the
+  // per-episode reward scratch.
+  std::vector<float> round_matrix_;
+  std::vector<double> rewards_;
+  // Persistent episode pool for an explicit Config::threads > 1 — built
+  // once so the per-episode dispatch never spawns threads on the hot
+  // path (threads == 1 runs serial; 0 goes through dispatch_lanes, which
+  // re-resolves FRLFI_NUM_THREADS per call and reuses the global pool).
+  std::unique_ptr<ThreadPool> episode_pool_;
+  std::size_t episode_ = 0;
+  bool server_fault_pending_ = false;
+};
+
+}  // namespace frlfi

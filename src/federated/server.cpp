@@ -1,5 +1,7 @@
 #include "federated/server.hpp"
 
+#include <algorithm>
+
 #include "core/error.hpp"
 
 namespace frlfi {
@@ -9,6 +11,49 @@ ParameterServer::ParameterServer(std::size_t n_agents, std::size_t parameter_dim
     : n_(n_agents), dim_(parameter_dim), schedule_(schedule) {
   FRLFI_CHECK_MSG(n_ >= 2, "ParameterServer needs >= 2 agents");
   FRLFI_CHECK(dim_ > 0);
+  agg_.resize(n_ * dim_);
+  total_.resize(dim_);
+}
+
+void ParameterServer::communicate_rows(std::span<float> rows, Rng& rng) {
+  FRLFI_CHECK_MSG(rows.size() == n_ * dim_,
+                  "round matrix holds " << rows.size() << " floats for " << n_
+                                        << " x " << dim_);
+  // Uplink: every agent's row through the (lossy) channel, in place.
+  channel_.transmit_rows(rows.data(), n_, dim_, rng);
+
+  // Aggregate into the preallocated matrix; consensus is the
+  // post-aggregation row mean, as in the scalar round.
+  smoothing_average_rows(rows.data(), agg_.data(), total_.data(), n_, dim_,
+                         schedule_.at(round_));
+  consensus_.resize(dim_);
+  mean_parameters_rows(agg_.data(), n_, dim_, consensus_.data());
+
+  // Post-aggregation hook (fault injection, checkpoint restore). The
+  // legacy vector-of-vectors hook is adapted through a pack/unpack so
+  // pre-engine callers see exactly the interface (and bits) they did.
+  if (rows_hook_) {
+    rows_hook_(round_, std::span<float>(agg_), dim_);
+  } else if (hook_) {
+    std::vector<std::vector<float>> agg_vov(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      agg_vov[i].assign(agg_.begin() + static_cast<std::ptrdiff_t>(i * dim_),
+                        agg_.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_));
+    hook_(round_, agg_vov);
+    for (std::size_t i = 0; i < n_; ++i) {
+      FRLFI_CHECK_MSG(agg_vov[i].size() == dim_,
+                      "hook resized aggregate " << i << " to "
+                                                << agg_vov[i].size());
+      std::copy(agg_vov[i].begin(), agg_vov[i].end(),
+                agg_.begin() + static_cast<std::ptrdiff_t>(i * dim_));
+    }
+  }
+
+  // Downlink: transmit the aggregates back, landing in the caller's rows.
+  channel_.transmit_rows(agg_.data(), n_, dim_, rng);
+  std::copy(agg_.begin(), agg_.end(), rows.begin());
+
+  ++round_;
 }
 
 std::vector<std::vector<float>> ParameterServer::communicate(
@@ -16,34 +61,29 @@ std::vector<std::vector<float>> ParameterServer::communicate(
   FRLFI_CHECK_MSG(agent_parameters.size() == n_,
                   "got " << agent_parameters.size() << " uploads for " << n_
                          << " agents");
-  // Uplink.
-  std::vector<std::vector<float>> uploads;
-  uploads.reserve(n_);
-  for (const auto& p : agent_parameters) {
+  std::vector<float> rows(n_ * dim_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto& p = agent_parameters[i];
     FRLFI_CHECK_MSG(p.size() == dim_, "upload size " << p.size());
-    uploads.push_back(channel_.transmit(p, rng));
+    std::copy(p.begin(), p.end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(i * dim_));
   }
-
-  // Aggregate.
-  std::vector<std::vector<float>> aggregated =
-      smoothing_average(uploads, schedule_.at(round_));
-  consensus_ = mean_parameters(aggregated);
-
-  // Post-aggregation hook (fault injection, checkpoint restore).
-  if (hook_) hook_(round_, aggregated);
-
-  // Downlink.
-  std::vector<std::vector<float>> downlinks;
-  downlinks.reserve(n_);
-  for (const auto& p : aggregated) downlinks.push_back(channel_.transmit(p, rng));
-
-  ++round_;
+  communicate_rows(rows, rng);
+  std::vector<std::vector<float>> downlinks(n_);
+  for (std::size_t i = 0; i < n_; ++i)
+    downlinks[i].assign(rows.begin() + static_cast<std::ptrdiff_t>(i * dim_),
+                        rows.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_));
   return downlinks;
 }
 
 void ParameterServer::set_post_aggregate_hook(
     std::function<void(std::size_t, std::vector<std::vector<float>>&)> hook) {
   hook_ = std::move(hook);
+}
+
+void ParameterServer::set_post_aggregate_rows_hook(
+    std::function<void(std::size_t, std::span<float>, std::size_t)> hook) {
+  rows_hook_ = std::move(hook);
 }
 
 }  // namespace frlfi

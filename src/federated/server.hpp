@@ -8,6 +8,7 @@
 /// module attaches its checkpoint store here.
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "federated/aggregation.hpp"
@@ -46,14 +47,39 @@ class ParameterServer {
   /// up, smoothed, passed through the post-aggregation hook (fault
   /// injection / checkpoint restore), and transmitted back down. Returns
   /// the per-agent downlink payloads.
+  ///
+  /// Compatibility wrapper over communicate_rows: packs the uploads into
+  /// the round matrix, runs the batched round, unpacks — byte-identical
+  /// results and RNG consumption.
   std::vector<std::vector<float>> communicate(
       const std::vector<std::vector<float>>& agent_parameters, Rng& rng);
+
+  /// The batched round the federated round engine drives: `rows` is a
+  /// row-major n x dim matrix holding agent i's upload in row i on entry
+  /// and its downlink payload on return. Uplink transmit, smoothing
+  /// average, consensus, hook and downlink transmit all run on
+  /// preallocated row-major storage (transmit_rows /
+  /// smoothing_average_rows / mean_parameters_rows) — no per-agent vector
+  /// allocations — and are bit-identical to the scalar communicate() of
+  /// the same rows (which is now this path).
+  void communicate_rows(std::span<float> rows, Rng& rng);
 
   /// Hook invoked after aggregation but before the downlink, receiving the
   /// mutable per-agent aggregated vectors and the round index. This is
   /// where ServerFault injection and checkpoint-based recovery attach.
   void set_post_aggregate_hook(
       std::function<void(std::size_t round, std::vector<std::vector<float>>&)> hook);
+
+  /// Row-matrix form of the post-aggregation hook, invoked with the
+  /// mutable row-major n x dim aggregate matrix — what the round engine's
+  /// in-place server-fault injection attaches to. When set it replaces
+  /// the vector-of-vectors hook (at most one of the two should be
+  /// installed); the legacy hook, if any, is still honoured by
+  /// communicate_rows through a pack/mutate/unpack adapter.
+  void set_post_aggregate_rows_hook(
+      std::function<void(std::size_t round, std::span<float> rows,
+                         std::size_t dim)>
+          hook);
 
   /// Mean of the last aggregated parameters (the consensus policy); empty
   /// before the first round.
@@ -67,6 +93,11 @@ class ParameterServer {
   std::size_t round_ = 0;
   std::vector<float> consensus_;
   std::function<void(std::size_t, std::vector<std::vector<float>>&)> hook_;
+  std::function<void(std::size_t, std::span<float>, std::size_t)> rows_hook_;
+  // Round scratch, preallocated once: the aggregate matrix (n x dim) and
+  // the smoothing row-sum (dim).
+  std::vector<float> agg_;
+  std::vector<float> total_;
 };
 
 }  // namespace frlfi

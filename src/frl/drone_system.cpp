@@ -10,6 +10,7 @@
 
 #include "core/error.hpp"
 #include "dronesim/heuristic.hpp"
+#include "fault/injector.hpp"
 #include "federated/aggregation.hpp"
 #include "frl/policies.hpp"
 #include "nn/loss.hpp"
@@ -142,10 +143,7 @@ std::vector<float> DroneFrlSystem::pretrain(const Config& cfg,
 }
 
 DroneFrlSystem::DroneFrlSystem(Config cfg, std::uint64_t seed)
-    : cfg_(cfg),
-      seed_(seed),
-      train_rng_(Rng(seed).split(0xD201E)),
-      checkpoints_(5) {
+    : cfg_(cfg), seed_(seed) {
   FRLFI_CHECK_MSG(cfg_.n_drones >= 1, "need at least one drone");
   FRLFI_CHECK(cfg_.comm_interval >= 1);
   FRLFI_CHECK(cfg_.comm_interval_boost >= 1);
@@ -165,129 +163,44 @@ DroneFrlSystem::DroneFrlSystem(Config cfg, std::uint64_t seed)
         std::make_unique<ReinforceTrainer>(*nets_.back(), cfg_.learner));
   }
 
-  if (cfg_.n_drones >= 2) {
-    server_.emplace(cfg_.n_drones, nets_[0]->parameter_count(),
-                    AlphaSchedule(cfg_.n_drones, cfg_.alpha0, cfg_.alpha_tau));
-    server_->channel().set_bit_error_rate(cfg_.channel_ber);
-    server_->set_post_aggregate_hook(
-        [this](std::size_t /*round*/, std::vector<std::vector<float>>& agg) {
-          if (!server_fault_pending_) return;
-          server_fault_pending_ = false;
-          Rng fault_rng = train_rng_.split(0xFA017 + episode_);
-          for (auto& params : agg)
-            inject_int8(params, fault_plan_.spec, fault_rng);
-        });
-  }
+  FederatedRoundEngine::Config ecfg;
+  ecfg.n_agents = cfg_.n_drones;
+  ecfg.parameter_dim = nets_[0]->parameter_count();
+  ecfg.comm_interval = cfg_.comm_interval;
+  ecfg.boost_after_episode = cfg_.boost_after_episode;
+  ecfg.comm_interval_boost = cfg_.comm_interval_boost;
+  ecfg.alpha0 = cfg_.alpha0;
+  ecfg.alpha_tau = cfg_.alpha_tau;
+  ecfg.channel_ber = cfg_.channel_ber;
+  ecfg.threads = cfg_.threads;
+  engine_ = std::make_unique<FederatedRoundEngine>(
+      ecfg, seed, /*stream_tag=*/0xD201E,
+      FederatedRoundEngine::Hooks{
+          [this](std::size_t i, std::size_t /*episode*/, Rng& rng) {
+            return learners_[i]
+                ->run_episode(*envs_[i], rng, /*learn=*/true)
+                .total_reward;
+          },
+          [this](std::size_t i, std::span<float> out) {
+            nets_[i]->copy_flat_parameters(out);
+          },
+          [this](std::size_t i, std::span<const float> params) {
+            nets_[i]->set_flat_parameters(params);
+          },
+          [this](std::size_t victim, const FaultSpec& spec, Rng& rng) {
+            inject_network_weights(*nets_[victim], spec, rng);
+          }});
 }
 
 void DroneFrlSystem::set_fault_plan(const TrainingFaultPlan& plan) {
-  if (plan.active && plan.spec.site == FaultSite::AgentFault)
-    FRLFI_CHECK_MSG(plan.spec.agent_index < cfg_.n_drones,
-                    "agent_index " << plan.spec.agent_index);
-  fault_plan_ = plan;
+  engine_->set_fault_plan(plan);
 }
 
 void DroneFrlSystem::set_mitigation(const MitigationPlan& plan) {
-  mitigation_ = plan;
-  if (plan.enabled) {
-    monitor_.emplace(cfg_.n_drones, plan.detector);
-    checkpoints_ = CheckpointStore(plan.checkpoint_interval);
-    mit_stats_ = MitigationStats{};
-  } else {
-    monitor_.reset();
-  }
+  engine_->set_mitigation(plan);
 }
 
-std::size_t DroneFrlSystem::effective_comm_interval() const {
-  if (episode_ >= cfg_.boost_after_episode)
-    return cfg_.comm_interval * cfg_.comm_interval_boost;
-  return cfg_.comm_interval;
-}
-
-std::vector<float> DroneFrlSystem::consensus_params() const {
-  std::vector<std::vector<float>> all;
-  all.reserve(nets_.size());
-  for (const auto& n : nets_) all.push_back(n->flat_parameters());
-  return mean_parameters(all);
-}
-
-void DroneFrlSystem::inject_training_fault_if_due() {
-  if (!fault_plan_.active || episode_ != fault_plan_.spec.episode) return;
-  switch (fault_plan_.spec.site) {
-    case FaultSite::AgentFault: {
-      const std::size_t victim =
-          std::min(fault_plan_.spec.agent_index, cfg_.n_drones - 1);
-      Rng fault_rng = train_rng_.split(0xFA017 + episode_);
-      inject_network_weights(*nets_[victim], fault_plan_.spec, fault_rng);
-      break;
-    }
-    case FaultSite::ServerFault: {
-      if (server_) {
-        server_fault_pending_ = true;
-      } else {
-        Rng fault_rng = train_rng_.split(0xFA017 + episode_);
-        inject_network_weights(*nets_[0], fault_plan_.spec, fault_rng);
-      }
-      break;
-    }
-    case FaultSite::Activations:
-      break;
-  }
-}
-
-void DroneFrlSystem::communicate_if_due() {
-  if (!server_) return;
-  if ((episode_ + 1) % effective_comm_interval() != 0) return;
-
-  std::vector<std::vector<float>> uploads;
-  uploads.reserve(nets_.size());
-  for (const auto& n : nets_) uploads.push_back(n->flat_parameters());
-
-  Rng comm_rng = train_rng_.split(0xC0111 + episode_);
-  const std::vector<std::vector<float>> downlinks =
-      server_->communicate(uploads, comm_rng);
-  for (std::size_t i = 0; i < nets_.size(); ++i)
-    nets_[i]->set_flat_parameters(downlinks[i]);
-
-  if (mitigation_.enabled && !(monitor_ && monitor_->suspicious())) {
-    if (checkpoints_.offer(server_->round(), server_->consensus()))
-      ++mit_stats_.checkpoints_taken;
-  }
-}
-
-void DroneFrlSystem::apply_mitigation(const std::vector<double>& rewards) {
-  if (!mitigation_.enabled || !monitor_) return;
-  const DetectedFault verdict = monitor_->observe(rewards);
-  if (verdict == DetectedFault::None || !checkpoints_.has_checkpoint()) return;
-
-  if (verdict == DetectedFault::Agent) {
-    for (std::size_t drone : monitor_->flagged_agents())
-      nets_[drone]->set_flat_parameters(checkpoints_.restore());
-    ++mit_stats_.agent_recoveries;
-  } else {
-    for (auto& n : nets_) n->set_flat_parameters(checkpoints_.restore());
-    ++mit_stats_.server_recoveries;
-  }
-  monitor_->acknowledge();
-}
-
-void DroneFrlSystem::run_training_episode() {
-  std::vector<double> rewards(cfg_.n_drones, 0.0);
-  for (std::size_t i = 0; i < cfg_.n_drones; ++i) {
-    Rng ep_rng = train_rng_.split(episode_ * 1000003ULL + i);
-    const EpisodeStats stats =
-        learners_[i]->run_episode(*envs_[i], ep_rng, /*learn=*/true);
-    rewards[i] = stats.total_reward;
-  }
-  inject_training_fault_if_due();
-  communicate_if_due();
-  apply_mitigation(rewards);
-  ++episode_;
-}
-
-void DroneFrlSystem::train(std::size_t episodes) {
-  for (std::size_t e = 0; e < episodes; ++e) run_training_episode();
-}
+void DroneFrlSystem::train(std::size_t episodes) { engine_->train(episodes); }
 
 double DroneFrlSystem::evaluate_flight_distance(std::size_t episodes_per_drone,
                                                 std::uint64_t seed) {
@@ -305,8 +218,11 @@ double DroneFrlSystem::evaluate_flight_distance(std::size_t episodes_per_drone,
 }
 
 Network DroneFrlSystem::consensus_network() const {
+  std::vector<std::vector<float>> all;
+  all.reserve(nets_.size());
+  for (const auto& n : nets_) all.push_back(n->flat_parameters());
   Network net = nets_[0]->clone();
-  net.set_flat_parameters(consensus_params());
+  net.set_flat_parameters(mean_parameters(all));
   return net;
 }
 
@@ -351,8 +267,8 @@ double DroneFrlSystem::evaluate_inference_fault(
 
 DroneFrlSystem::Snapshot DroneFrlSystem::snapshot() const {
   Snapshot snap;
-  snap.episode = episode_;
-  snap.round = server_ ? server_->round() : 0;
+  snap.episode = engine_->episode();
+  snap.round = engine_->round();
   for (const auto& n : nets_) snap.drone_params.push_back(n->flat_parameters());
   for (const auto& l : learners_) snap.baselines.push_back(l->baseline_state());
   return snap;
@@ -366,10 +282,7 @@ void DroneFrlSystem::restore(const Snapshot& snap) {
   FRLFI_CHECK(snap.baselines.size() == learners_.size());
   for (std::size_t i = 0; i < learners_.size(); ++i)
     learners_[i]->set_baseline_state(snap.baselines[i]);
-  episode_ = snap.episode;
-  if (server_) server_->set_round(snap.round);
-  server_fault_pending_ = false;
-  if (mitigation_.enabled) set_mitigation(mitigation_);
+  engine_->restore_position(snap.episode, snap.round);
 }
 
 void DroneFrlSystem::save(std::ostream& os) const {
@@ -405,14 +318,6 @@ void DroneFrlSystem::load(std::istream& is) {
     snap.baselines.push_back(b);
   }
   restore(snap);
-}
-
-std::size_t DroneFrlSystem::communication_bytes() const {
-  return server_ ? server_->channel().bytes_sent() : 0;
-}
-
-std::size_t DroneFrlSystem::communication_rounds() const {
-  return server_ ? server_->round() : 0;
 }
 
 Network& DroneFrlSystem::drone_network(std::size_t drone) {

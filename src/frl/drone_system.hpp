@@ -6,6 +6,10 @@
 /// conv policy online with REINFORCE after an offline pretraining phase,
 /// and periodically synchronizing through the smoothing-average server.
 ///
+/// Training orchestration (episode loop, fault timing, the batched server
+/// round, §V-A mitigation) lives in the shared FederatedRoundEngine; this
+/// class supplies the agent-local callbacks and the offline pretraining.
+///
 /// Offline pretraining substitution (documented in DESIGN.md): PEDRA
 /// pretrains with a long offline REINFORCE run on Unreal environments;
 /// here the offline phase is imitation of a depth-greedy reference pilot
@@ -19,11 +23,9 @@
 #include <optional>
 
 #include "dronesim/drone_env.hpp"
-#include "federated/server.hpp"
+#include "federated/round_engine.hpp"
 #include "frl/evaluation.hpp"
 #include "frl/plans.hpp"
-#include "mitigation/checkpoint.hpp"
-#include "mitigation/reward_monitor.hpp"
 #include "rl/reinforce.hpp"
 
 namespace frlfi {
@@ -47,6 +49,10 @@ class DroneFrlSystem {
     double alpha_tau = 40.0;
     /// Channel bit error rate (0 = clean links).
     double channel_ber = 0.0;
+    /// Worker lanes for the per-drone local training episodes
+    /// (FederatedRoundEngine::Config::threads): 1 = serial, 0 = auto, N =
+    /// exactly N. train() is bit-identical for every value.
+    std::size_t threads = 1;
     /// REINFORCE hyperparameters for online fine-tuning.
     ReinforceTrainer::Options learner;
     /// Environment/task parameters.
@@ -71,6 +77,10 @@ class DroneFrlSystem {
   /// Build the system (runs or reuses the cached offline pretraining).
   DroneFrlSystem(Config cfg, std::uint64_t seed);
 
+  // Not movable: the round engine's hooks capture `this`.
+  DroneFrlSystem(DroneFrlSystem&&) = delete;
+  DroneFrlSystem& operator=(DroneFrlSystem&&) = delete;
+
   /// Arm/disarm a training-time fault.
   void set_fault_plan(const TrainingFaultPlan& plan);
 
@@ -81,7 +91,7 @@ class DroneFrlSystem {
   void train(std::size_t episodes);
 
   /// Fine-tuning episodes completed so far.
-  std::size_t episode() const { return episode_; }
+  std::size_t episode() const { return engine_->episode(); }
 
   /// Average greedy safe flight distance [m] over all drones,
   /// `episodes_per_drone` each — the paper's DroneNav metric.
@@ -115,13 +125,17 @@ class DroneFrlSystem {
   void load(std::istream& is);
 
   /// Mitigation counters.
-  const MitigationStats& mitigation_stats() const { return mit_stats_; }
+  const MitigationStats& mitigation_stats() const {
+    return engine_->mitigation_stats();
+  }
 
   /// Uplink+downlink communication bytes so far (0 for single drone).
-  std::size_t communication_bytes() const;
+  std::size_t communication_bytes() const {
+    return engine_->communication_bytes();
+  }
 
   /// Communication rounds so far (0 for single drone).
-  std::size_t communication_rounds() const;
+  std::size_t communication_rounds() const { return engine_->round(); }
 
   /// Direct access to a drone's network.
   Network& drone_network(std::size_t drone);
@@ -145,27 +159,14 @@ class DroneFrlSystem {
   /// Run the offline phase (imitation + REINFORCE polish) from scratch.
   static std::vector<float> pretrain(const Config& cfg, std::uint64_t seed);
 
-  void run_training_episode();
-  void communicate_if_due();
-  void inject_training_fault_if_due();
-  void apply_mitigation(const std::vector<double>& rewards);
-  std::size_t effective_comm_interval() const;
-  std::vector<float> consensus_params() const;
-
   Config cfg_;
   std::uint64_t seed_;
-  Rng train_rng_;
   std::vector<std::unique_ptr<DroneNavEnv>> envs_;
   std::vector<std::unique_ptr<Network>> nets_;
   std::vector<std::unique_ptr<ReinforceTrainer>> learners_;
-  std::optional<ParameterServer> server_;
-  TrainingFaultPlan fault_plan_;
-  MitigationPlan mitigation_;
-  std::optional<RewardDropMonitor> monitor_;
-  CheckpointStore checkpoints_;
-  MitigationStats mit_stats_;
-  std::size_t episode_ = 0;
-  bool server_fault_pending_ = false;
+  // Owns the training plane; hooks capture `this` (moves deleted above so
+  // the captured pointer can never dangle).
+  std::unique_ptr<FederatedRoundEngine> engine_;
 };
 
 }  // namespace frlfi

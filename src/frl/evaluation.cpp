@@ -8,12 +8,12 @@
 namespace frlfi {
 
 EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
-                            std::size_t max_steps) {
+                            std::size_t max_steps, const WeightView* view) {
   FRLFI_CHECK(max_steps >= 1);
   EpisodeStats stats;
   Tensor obs = env.reset(rng);
   for (std::size_t t = 0; t < max_steps; ++t) {
-    const std::size_t action = policy.forward(obs).argmax();
+    const std::size_t action = policy.forward(obs, view).argmax();
     StepResult r = env.step(action, rng);
     stats.total_reward += r.reward;
     ++stats.steps;

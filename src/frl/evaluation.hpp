@@ -21,8 +21,14 @@
 namespace frlfi {
 
 /// Run one greedy episode (argmax of the network output at every step).
+/// A non-null `view` routes every forward through the fault-overlay plane
+/// (Network::forward(obs, view)): the episode runs exactly as if the
+/// policy held the view's effective weights, but nothing is mutated —
+/// which is how the per-layer ablation replays many fault overlays over
+/// one shared read-only snapshot instead of cloning it per trial.
 EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
-                            std::size_t max_steps);
+                            std::size_t max_steps,
+                            const WeightView* view = nullptr);
 
 /// Run one greedy episode per lane over independent environments in
 /// lockstep, batching the observations of all still-active lanes into a

@@ -6,17 +6,14 @@
 
 #include "core/error.hpp"
 #include "core/stats.hpp"
+#include "fault/injector.hpp"
 #include "federated/aggregation.hpp"
 #include "frl/policies.hpp"
 
 namespace frlfi {
 
 GridWorldFrlSystem::GridWorldFrlSystem(Config cfg, std::uint64_t seed)
-    : cfg_(cfg),
-      seed_(seed),
-      train_rng_(Rng(seed).split(0x7121A1)),
-      eps_(cfg.eps_start, cfg.eps_end, cfg.eps_span),
-      checkpoints_(5) {
+    : cfg_(cfg), eps_(cfg.eps_start, cfg.eps_end, cfg.eps_span) {
   FRLFI_CHECK_MSG(cfg_.n_agents >= 1, "need at least one agent");
   FRLFI_CHECK(cfg_.comm_interval >= 1);
 
@@ -34,37 +31,44 @@ GridWorldFrlSystem::GridWorldFrlSystem(Config cfg, std::uint64_t seed)
     learners_.push_back(std::make_unique<QLearner>(*nets_.back(), cfg_.learner));
   }
 
-  if (cfg_.n_agents >= 2) {
-    server_.emplace(cfg_.n_agents, nets_[0]->parameter_count(),
-                    AlphaSchedule(cfg_.n_agents, cfg_.alpha0, cfg_.alpha_tau));
-    server_->channel().set_bit_error_rate(cfg_.channel_ber);
-    server_->set_post_aggregate_hook(
-        [this](std::size_t /*round*/, std::vector<std::vector<float>>& agg) {
-          if (!server_fault_pending_) return;
-          server_fault_pending_ = false;
-          Rng fault_rng = train_rng_.split(0xFA017 + episode_);
-          for (auto& params : agg)
-            inject_int8(params, fault_plan_.spec, fault_rng);
-        });
-  }
+  FederatedRoundEngine::Config ecfg;
+  ecfg.n_agents = cfg_.n_agents;
+  ecfg.parameter_dim = nets_[0]->parameter_count();
+  ecfg.comm_interval = cfg_.comm_interval;
+  ecfg.alpha0 = cfg_.alpha0;
+  ecfg.alpha_tau = cfg_.alpha_tau;
+  ecfg.channel_ber = cfg_.channel_ber;
+  ecfg.threads = cfg_.threads;
+  engine_ = std::make_unique<FederatedRoundEngine>(
+      ecfg, seed, /*stream_tag=*/0x7121A1,
+      FederatedRoundEngine::Hooks{
+          [this](std::size_t i, std::size_t episode, Rng& rng) {
+            const double epsilon = eps_.at(episode);
+            return learners_[i]
+                ->run_episode(*envs_[i], rng, epsilon, /*learn=*/true)
+                .total_reward;
+          },
+          [this](std::size_t i, std::span<float> out) {
+            nets_[i]->copy_flat_parameters(out);
+          },
+          [this](std::size_t i, std::span<const float> params) {
+            nets_[i]->set_flat_parameters(params);
+          },
+          [this](std::size_t victim, const FaultSpec& spec, Rng& rng) {
+            inject_network_weights(*nets_[victim], spec, rng);
+          }});
 }
 
 void GridWorldFrlSystem::set_fault_plan(const TrainingFaultPlan& plan) {
-  if (plan.active && plan.spec.site == FaultSite::AgentFault)
-    FRLFI_CHECK_MSG(plan.spec.agent_index < cfg_.n_agents,
-                    "agent_index " << plan.spec.agent_index);
-  fault_plan_ = plan;
+  engine_->set_fault_plan(plan);
 }
 
 void GridWorldFrlSystem::set_mitigation(const MitigationPlan& plan) {
-  mitigation_ = plan;
-  if (plan.enabled) {
-    monitor_.emplace(cfg_.n_agents, plan.detector);
-    checkpoints_ = CheckpointStore(plan.checkpoint_interval);
-    mit_stats_ = MitigationStats{};
-  } else {
-    monitor_.reset();
-  }
+  engine_->set_mitigation(plan);
+}
+
+void GridWorldFrlSystem::train(std::size_t episodes) {
+  engine_->train(episodes);
 }
 
 std::vector<float> GridWorldFrlSystem::consensus_params() const {
@@ -72,95 +76,6 @@ std::vector<float> GridWorldFrlSystem::consensus_params() const {
   all.reserve(nets_.size());
   for (const auto& n : nets_) all.push_back(n->flat_parameters());
   return mean_parameters(all);
-}
-
-void GridWorldFrlSystem::inject_training_fault_if_due() {
-  if (!fault_plan_.active || episode_ != fault_plan_.spec.episode) return;
-  switch (fault_plan_.spec.site) {
-    case FaultSite::AgentFault: {
-      // In the single-agent system every fault hits the lone agent.
-      const std::size_t victim =
-          std::min(fault_plan_.spec.agent_index, cfg_.n_agents - 1);
-      Rng fault_rng = train_rng_.split(0xFA017 + episode_);
-      inject_network_weights(*nets_[victim], fault_plan_.spec, fault_rng);
-      break;
-    }
-    case FaultSite::ServerFault: {
-      if (server_) {
-        // Corrupts the aggregated state at the next communication round.
-        server_fault_pending_ = true;
-      } else {
-        // No server in the single-agent system: the fault hits the agent.
-        Rng fault_rng = train_rng_.split(0xFA017 + episode_);
-        inject_network_weights(*nets_[0], fault_plan_.spec, fault_rng);
-      }
-      break;
-    }
-    case FaultSite::Activations:
-      // Training-time activation faults are exercised through the
-      // Network activation hook by dedicated experiments; not part of the
-      // episode-indexed plan.
-      break;
-  }
-}
-
-void GridWorldFrlSystem::communicate_if_due() {
-  if (!server_) return;
-  if ((episode_ + 1) % cfg_.comm_interval != 0) return;
-
-  std::vector<std::vector<float>> uploads;
-  uploads.reserve(nets_.size());
-  for (const auto& n : nets_) uploads.push_back(n->flat_parameters());
-
-  Rng comm_rng = train_rng_.split(0xC0111 + episode_);
-  const std::vector<std::vector<float>> downlinks =
-      server_->communicate(uploads, comm_rng);
-  for (std::size_t i = 0; i < nets_.size(); ++i)
-    nets_[i]->set_flat_parameters(downlinks[i]);
-
-  // Checkpoint the (pre-fault) consensus, pausing while the detector is
-  // suspicious so recovery state stays clean.
-  if (mitigation_.enabled && !(monitor_ && monitor_->suspicious())) {
-    if (checkpoints_.offer(server_->round(), server_->consensus()))
-      ++mit_stats_.checkpoints_taken;
-  }
-}
-
-void GridWorldFrlSystem::apply_mitigation(const std::vector<double>& rewards) {
-  if (!mitigation_.enabled || !monitor_) return;
-  const DetectedFault verdict = monitor_->observe(rewards);
-  if (verdict == DetectedFault::None || !checkpoints_.has_checkpoint()) return;
-
-  if (verdict == DetectedFault::Agent) {
-    for (std::size_t agent : monitor_->flagged_agents())
-      nets_[agent]->set_flat_parameters(checkpoints_.restore());
-    ++mit_stats_.agent_recoveries;
-  } else {
-    // Server fault: revert every agent to the checkpointed consensus
-    // (equivalent to reverting the server and broadcasting).
-    for (auto& n : nets_) n->set_flat_parameters(checkpoints_.restore());
-    ++mit_stats_.server_recoveries;
-  }
-  monitor_->acknowledge();
-}
-
-void GridWorldFrlSystem::run_training_episode() {
-  const double epsilon = eps_.at(episode_);
-  std::vector<double> rewards(cfg_.n_agents, 0.0);
-  for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
-    Rng ep_rng = train_rng_.split(episode_ * 1000003ULL + i);
-    const EpisodeStats stats =
-        learners_[i]->run_episode(*envs_[i], ep_rng, epsilon, /*learn=*/true);
-    rewards[i] = stats.total_reward;
-  }
-  inject_training_fault_if_due();
-  communicate_if_due();
-  apply_mitigation(rewards);
-  ++episode_;
-}
-
-void GridWorldFrlSystem::train(std::size_t episodes) {
-  for (std::size_t e = 0; e < episodes; ++e) run_training_episode();
 }
 
 double GridWorldFrlSystem::evaluate_agent(std::size_t agent,
@@ -282,8 +197,8 @@ double GridWorldFrlSystem::evaluate_inference_fault(
 
 GridWorldFrlSystem::Snapshot GridWorldFrlSystem::snapshot() const {
   Snapshot snap;
-  snap.episode = episode_;
-  snap.round = server_ ? server_->round() : 0;
+  snap.episode = engine_->episode();
+  snap.round = engine_->round();
   for (const auto& n : nets_) snap.agent_params.push_back(n->flat_parameters());
   return snap;
 }
@@ -293,12 +208,7 @@ void GridWorldFrlSystem::restore(const Snapshot& snap) {
                   "snapshot agent count mismatch");
   for (std::size_t i = 0; i < nets_.size(); ++i)
     nets_[i]->set_flat_parameters(snap.agent_params[i]);
-  episode_ = snap.episode;
-  if (server_) server_->set_round(snap.round);
-  server_fault_pending_ = false;
-  // Detector baselines and checkpoints describe the pre-restore timeline;
-  // start the mitigation machinery afresh.
-  if (mitigation_.enabled) set_mitigation(mitigation_);
+  engine_->restore_position(snap.episode, snap.round);
 }
 
 void GridWorldFrlSystem::save(std::ostream& os) const {
@@ -332,10 +242,6 @@ Network& GridWorldFrlSystem::agent_network(std::size_t agent) {
 GridWorldEnv& GridWorldFrlSystem::agent_env(std::size_t agent) {
   FRLFI_CHECK(agent < envs_.size());
   return *envs_[agent];
-}
-
-std::size_t GridWorldFrlSystem::communication_bytes() const {
-  return server_ ? server_->channel().bytes_sent() : 0;
 }
 
 }  // namespace frlfi

@@ -6,16 +6,19 @@
 /// its own environment, periodically exchanging parameters through the
 /// smoothing-average server. Exposes the fault-injection and mitigation
 /// hooks every GridWorld experiment in the paper is built from.
+///
+/// Training orchestration (episode loop, fault timing, the batched server
+/// round, §V-A mitigation) lives in the shared FederatedRoundEngine; this
+/// class supplies the agent-local callbacks (Q-learning episode, parameter
+/// gather/scatter, weight injection) and everything evaluation-side.
 
 #include <memory>
 #include <optional>
 
 #include "envs/gridworld.hpp"
-#include "federated/server.hpp"
+#include "federated/round_engine.hpp"
 #include "frl/evaluation.hpp"
 #include "frl/plans.hpp"
-#include "mitigation/checkpoint.hpp"
-#include "mitigation/reward_monitor.hpp"
 #include "rl/qlearner.hpp"
 #include "rl/schedule.hpp"
 
@@ -37,6 +40,10 @@ class GridWorldFrlSystem {
     double alpha_tau = 150.0;
     /// Channel bit error rate (0 = clean links).
     double channel_ber = 0.0;
+    /// Worker lanes for the per-agent local training episodes
+    /// (FederatedRoundEngine::Config::threads): 1 = serial, 0 = auto, N =
+    /// exactly N. train() is bit-identical for every value.
+    std::size_t threads = 1;
     /// Q-learning hyperparameters.
     QLearner::Options learner;
     /// Exploration schedule (training phase of §III-B).
@@ -58,6 +65,10 @@ class GridWorldFrlSystem {
   /// Build the system; `seed` drives all training stochasticity.
   GridWorldFrlSystem(Config cfg, std::uint64_t seed);
 
+  // Not movable: the round engine's hooks capture `this`.
+  GridWorldFrlSystem(GridWorldFrlSystem&&) = delete;
+  GridWorldFrlSystem& operator=(GridWorldFrlSystem&&) = delete;
+
   /// Arm (or disarm, with plan.active=false) a training-time fault.
   void set_fault_plan(const TrainingFaultPlan& plan);
 
@@ -69,7 +80,7 @@ class GridWorldFrlSystem {
   void train(std::size_t episodes);
 
   /// Episodes completed so far.
-  std::size_t episode() const { return episode_; }
+  std::size_t episode() const { return engine_->episode(); }
 
   /// Average greedy success rate over all agents (the paper's SR metric),
   /// `attempts_per_agent` episodes each, deterministic in `seed`.
@@ -121,7 +132,9 @@ class GridWorldFrlSystem {
   void load(std::istream& is);
 
   /// Mitigation counters (meaningful when mitigation is enabled).
-  const MitigationStats& mitigation_stats() const { return mit_stats_; }
+  const MitigationStats& mitigation_stats() const {
+    return engine_->mitigation_stats();
+  }
 
   /// Direct access to an agent's network (FI experiments and tests).
   Network& agent_network(std::size_t agent);
@@ -133,30 +146,22 @@ class GridWorldFrlSystem {
   const Config& config() const { return cfg_; }
 
   /// Uplink+downlink communication bytes so far (0 for single-agent).
-  std::size_t communication_bytes() const;
+  std::size_t communication_bytes() const {
+    return engine_->communication_bytes();
+  }
 
  private:
-  void run_training_episode();
-  void communicate_if_due();
-  void inject_training_fault_if_due();
-  void apply_mitigation(const std::vector<double>& rewards);
   std::vector<float> consensus_params() const;
 
   Config cfg_;
-  std::uint64_t seed_;
-  Rng train_rng_;
   std::vector<std::unique_ptr<GridWorldEnv>> envs_;
   std::vector<std::unique_ptr<Network>> nets_;
   std::vector<std::unique_ptr<QLearner>> learners_;
-  std::optional<ParameterServer> server_;
   EpsilonSchedule eps_;
-  TrainingFaultPlan fault_plan_;
-  MitigationPlan mitigation_;
-  std::optional<RewardDropMonitor> monitor_;
-  CheckpointStore checkpoints_;
-  MitigationStats mit_stats_;
-  std::size_t episode_ = 0;
-  bool server_fault_pending_ = false;
+  // Owns the training plane (server, fault plan, mitigation, episode
+  // counter); its hooks capture `this` — the move operations above are
+  // deleted so the captured pointer can never dangle.
+  std::unique_ptr<FederatedRoundEngine> engine_;
 };
 
 }  // namespace frlfi

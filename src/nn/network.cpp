@@ -31,6 +31,11 @@ const Layer& Network::layer(std::size_t i) const {
   return *layers_[i];
 }
 
+std::size_t Network::layer_offset(std::size_t i) const {
+  FRLFI_CHECK_MSG(i < layer_offsets_.size(), "layer index " << i);
+  return layer_offsets_[i];
+}
+
 void Network::set_activation_hook(
     std::function<void(std::size_t, Tensor&)> hook) {
   activation_hook_ = std::move(hook);
@@ -194,7 +199,21 @@ std::vector<float> Network::flat_parameters() const {
   return flat;
 }
 
-void Network::set_flat_parameters(const std::vector<float>& flat) {
+void Network::copy_flat_parameters(std::span<float> out) const {
+  FRLFI_CHECK_MSG(out.size() == parameter_count(),
+                  "flat size " << out.size() << " != " << parameter_count());
+  std::size_t off = 0;
+  for (const auto& l : layers_) {
+    for (Parameter* p : const_cast<Layer&>(*l).parameters()) {
+      const auto& src = p->value.data();
+      std::copy(src.begin(), src.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(off));
+      off += src.size();
+    }
+  }
+}
+
+void Network::set_flat_parameters(std::span<const float> flat) {
   FRLFI_CHECK_MSG(flat.size() == parameter_count(),
                   "flat size " << flat.size() << " != " << parameter_count());
   std::size_t off = 0;

@@ -39,6 +39,10 @@ class Network {
   Layer& layer(std::size_t i);
   const Layer& layer(std::size_t i) const;
 
+  /// Flat parameter offset of layer i — the coordinate WeightView overlays
+  /// and layer-scoped injections index with.
+  std::size_t layer_offset(std::size_t i) const;
+
   /// Hook invoked after each layer's forward pass as
   /// hook(layer_index, activation_tensor); the hook may mutate the
   /// activation (fault injection, anomaly suppression). An empty function
@@ -118,8 +122,16 @@ class Network {
   /// Copy all parameter values into one flat vector (layer order).
   std::vector<float> flat_parameters() const;
 
+  /// Copy all parameter values into caller-owned storage (layer order;
+  /// `out` must hold parameter_count() floats). The allocation-free
+  /// gather the federated round engine uses to fill its round matrix.
+  void copy_flat_parameters(std::span<float> out) const;
+
   /// Load parameter values from a flat vector; size must match exactly.
-  void set_flat_parameters(const std::vector<float>& flat);
+  void set_flat_parameters(std::span<const float> flat);
+  void set_flat_parameters(const std::vector<float>& flat) {
+    set_flat_parameters(std::span<const float>(flat));
+  }
 
   /// Deep copy (parameters copied, caches and hooks dropped).
   Network clone() const;

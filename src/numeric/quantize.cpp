@@ -7,7 +7,7 @@
 
 namespace frlfi {
 
-Int8Quantizer Int8Quantizer::calibrate(const std::vector<float>& data) {
+Int8Quantizer Int8Quantizer::calibrate(std::span<const float> data) {
   float max_abs = 0.0f;
   for (float x : data) max_abs = std::max(max_abs, std::abs(x));
   constexpr float kMinScaleNumerator = 1e-8f;

@@ -9,6 +9,7 @@
 /// dequantization back into the float weights the network executes with.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace frlfi {
@@ -19,7 +20,10 @@ namespace frlfi {
 class Int8Quantizer {
  public:
   /// Calibrate the scale from the data's maximum magnitude.
-  static Int8Quantizer calibrate(const std::vector<float>& data);
+  static Int8Quantizer calibrate(std::span<const float> data);
+  static Int8Quantizer calibrate(const std::vector<float>& data) {
+    return calibrate(std::span<const float>(data));
+  }
 
   /// Construct with an explicit scale (> 0).
   explicit Int8Quantizer(float scale);

@@ -269,6 +269,12 @@ void gemm_zero_skip_accumulate(const float* a, const float* b, float* c,
   }
 }
 
+FRLFI_TARGET_CLONES
+void axpy(float alpha, const float* x, float* y, std::size_t n) {
+#pragma omp simd
+  for (std::size_t j = 0; j < n; ++j) y[j] += alpha * x[j];
+}
+
 void gemv(const float* w, const float* x, float* y, std::size_t m,
           std::size_t n) {
   for (std::size_t i = 0; i < m; ++i) {

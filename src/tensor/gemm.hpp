@@ -98,6 +98,12 @@ void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
 void gemm_zero_skip_accumulate(const float* a, const float* b, float* c,
                                std::size_t m, std::size_t k, std::size_t n);
 
+/// y (n) += alpha · x (n): the BLAS saxpy. Reduction-free elementwise
+/// chain, so it carries the wider-vector clones; alpha == 1.0f multiplies
+/// exactly, which is what lets the federated row-sum accumulate rows in
+/// agent order bit-identically to the scalar reference loop.
+void axpy(float alpha, const float* x, float* y, std::size_t n);
+
 /// y (m) = W (m x n) · x (n). y is overwritten.
 void gemv(const float* w, const float* x, float* y, std::size_t m,
           std::size_t n);

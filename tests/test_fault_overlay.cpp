@@ -342,6 +342,106 @@ TEST(BatchedTrans1, MatchesSerialCloneAndMutatePath) {
   EXPECT_EQ(policy.flat_parameters(), clean);
 }
 
+/// Frozen pre-refactor implementation of inject_network_weights: flatten,
+/// in-place int8 injection, restore. The overlay-routed production path
+/// must keep reproducing it bit-for-bit.
+InjectionReport frozen_inject_network_weights(Network& net,
+                                              const FaultSpec& spec,
+                                              Rng& rng) {
+  std::vector<float> flat = net.flat_parameters();
+  const InjectionReport report = inject_int8(flat, spec, rng);
+  net.set_flat_parameters(flat);
+  return report;
+}
+
+/// Frozen pre-refactor implementation of inject_layer_weights: one
+/// in-place int8 injection per parameter tensor of the layer.
+InjectionReport frozen_inject_layer_weights(Network& net,
+                                            std::size_t layer_index,
+                                            const FaultSpec& spec, Rng& rng) {
+  InjectionReport report;
+  for (Parameter* p : net.layer(layer_index).parameters()) {
+    std::vector<float>& w = p->value.data();
+    const InjectionReport r = inject_int8(w, spec, rng);
+    report.bits_flipped += r.bits_flipped;
+    report.bits_total += r.bits_total;
+  }
+  return report;
+}
+
+TEST(TrainingOverlay, NetworkInjectionMatchesFrozenInPlaceReference) {
+  Rng init(21);
+  const Network proto = make_drone_policy(init);
+  for (const double ber : {1e-3, 0.02, 0.2}) {
+    FaultSpec spec;
+    spec.ber = ber;
+    Network frozen = proto.clone();
+    Network routed = proto.clone();
+    Rng rng_a(77), rng_b(77);
+    const InjectionReport a = frozen_inject_network_weights(frozen, spec, rng_a);
+    const InjectionReport b = inject_network_weights(routed, spec, rng_b);
+    EXPECT_EQ(a.bits_flipped, b.bits_flipped) << ber;
+    EXPECT_EQ(a.bits_total, b.bits_total) << ber;
+    EXPECT_EQ(frozen.flat_parameters(), routed.flat_parameters()) << ber;
+    // Identical RNG consumption: the streams stay aligned afterwards.
+    EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64()) << ber;
+  }
+}
+
+TEST(TrainingOverlay, LayerInjectionMatchesFrozenPerTensorReference) {
+  Rng init(22);
+  Network proto = make_drone_policy(init);
+  for (std::size_t li = 0; li < proto.layer_count(); ++li) {
+    if (proto.layer(li).parameters().empty()) continue;
+    FaultSpec spec;
+    spec.ber = 0.02;
+    Network frozen = proto.clone();
+    Network routed = proto.clone();
+    Rng rng_a(88 + li), rng_b(88 + li);
+    const InjectionReport a =
+        frozen_inject_layer_weights(frozen, li, spec, rng_a);
+    const InjectionReport b = inject_layer_weights(routed, li, spec, rng_b);
+    EXPECT_EQ(a.bits_flipped, b.bits_flipped) << "layer " << li;
+    EXPECT_EQ(a.bits_total, b.bits_total) << "layer " << li;
+    EXPECT_EQ(frozen.flat_parameters(), routed.flat_parameters())
+        << "layer " << li;
+    EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64()) << "layer " << li;
+  }
+}
+
+TEST(TrainingOverlay, LayerViewForwardMatchesMaterializedInjection) {
+  // The ablation-bench path: a layer-scoped overlay read through a view
+  // must produce the same logits as materializing the same injection into
+  // the network — so replaying fault plans over one shared snapshot is
+  // exactly the old clone-per-trial loop, minus the clones.
+  Rng init(23);
+  Network shared = make_gridworld_policy(init);
+  Rng obs_rng(24);
+  const Tensor obs = Tensor::random_uniform({10}, obs_rng, -1.0f, 1.0f);
+  for (std::size_t li = 0; li < shared.layer_count(); ++li) {
+    if (shared.layer(li).parameters().empty()) continue;
+    const LayerDeployedWeights deployed(shared, li);
+    EXPECT_EQ(deployed.base().size(), shared.parameter_count());
+    EXPECT_EQ(deployed.layer_begin(), shared.layer_offset(li));
+    FaultSpec spec;
+    spec.ber = 0.05;
+    WeightOverlay overlay;
+    Rng rng_a(99 + li), rng_b(99 + li);
+    deployed.inject(spec, rng_a, overlay);
+    // Overlay entries stay inside the layer's flat span.
+    for (const std::size_t idx : overlay.indices) {
+      EXPECT_GE(idx, deployed.layer_begin());
+      EXPECT_LT(idx, deployed.layer_end());
+    }
+    const WeightView view = deployed.view(&overlay);
+    const Tensor through_view = shared.forward(obs, &view);
+    Network mutated = shared.clone();
+    inject_layer_weights(mutated, li, spec, rng_b);
+    const Tensor through_mutated = mutated.forward(obs);
+    EXPECT_EQ(through_view.data(), through_mutated.data()) << "layer " << li;
+  }
+}
+
 TEST(BatchedTrans1, CampaignMatchesOldSerialTrans1Reference) {
   // run_batched_inference_campaign's Trans-1 path must reproduce what the
   // pre-overlay implementation computed: per (agent, trial) stream

@@ -1,0 +1,330 @@
+/// \file test_round_engine.cpp
+/// The federated round engine's invariants:
+///  * train() is bit-identical across thread counts (1, 2, 7) on both
+///    paper systems — faults, noisy channels and mitigation included —
+///    over an n_agents x threads grid;
+///  * snapshot/restore composes with parallel training (restore + retrain
+///    replays the same bits at any fan-out);
+///  * the batched server-round kernels (smoothing_average_rows,
+///    mean_parameters_rows, CommChannel::transmit_rows,
+///    ParameterServer::communicate_rows) are bit-identical to their
+///    scalar references, RNG stream position included;
+///  * the engine's row-matrix server-fault hook reproduces the historical
+///    per-agent-vector hook.
+
+#include "federated/round_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "core/error.hpp"
+#include "fault/injector.hpp"
+#include "federated/aggregation.hpp"
+#include "federated/channel.hpp"
+#include "federated/server.hpp"
+#include "frl/drone_system.hpp"
+#include "frl/gridworld_system.hpp"
+
+namespace frlfi {
+namespace {
+
+std::vector<float> random_row(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<std::vector<float>> random_uploads(std::size_t n, std::size_t dim,
+                                               std::uint64_t seed) {
+  std::vector<std::vector<float>> up;
+  for (std::size_t i = 0; i < n; ++i) up.push_back(random_row(dim, seed + i));
+  return up;
+}
+
+std::vector<float> pack_rows(const std::vector<std::vector<float>>& vov) {
+  std::vector<float> rows;
+  for (const auto& v : vov) rows.insert(rows.end(), v.begin(), v.end());
+  return rows;
+}
+
+TEST(BatchedAggregation, SmoothingRowsMatchesScalarReference) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{5}, std::size_t{12}}) {
+    // Dims straddling SIMD widths, including a non-multiple-of-8 tail.
+    for (const std::size_t dim : {std::size_t{1}, std::size_t{37},
+                                  std::size_t{256}}) {
+      const auto uploads = random_uploads(n, dim, 100 + n + dim);
+      const auto rows = pack_rows(uploads);
+      for (const double alpha : {0.3, 0.5, 1.0 / static_cast<double>(n)}) {
+        const auto scalar = smoothing_average(uploads, alpha);
+        std::vector<float> out(n * dim), total(dim);
+        smoothing_average_rows(rows.data(), out.data(), total.data(), n, dim,
+                               alpha);
+        EXPECT_EQ(out, pack_rows(scalar)) << n << "x" << dim << " a=" << alpha;
+      }
+    }
+  }
+}
+
+TEST(BatchedAggregation, MeanRowsMatchesScalarReference) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{9}}) {
+    const std::size_t dim = 123;
+    const auto uploads = random_uploads(n, dim, 500 + n);
+    const auto rows = pack_rows(uploads);
+    std::vector<float> mean(dim);
+    mean_parameters_rows(rows.data(), n, dim, mean.data());
+    EXPECT_EQ(mean, mean_parameters(uploads)) << n;
+  }
+}
+
+TEST(BatchedChannel, TransmitRowsMatchesScalarTransmit) {
+  for (const double ber : {0.0, 1e-3, 0.05, 0.3}) {
+    const std::size_t n = 4, dim = 97;
+    const auto uploads = random_uploads(n, dim, 900);
+    CommChannel scalar_ch(ber), rows_ch(ber);
+    Rng scalar_rng(7), rows_rng(7);
+    std::vector<std::vector<float>> scalar_out;
+    for (const auto& p : uploads)
+      scalar_out.push_back(scalar_ch.transmit(p, scalar_rng));
+    std::vector<float> rows = pack_rows(uploads);
+    rows_ch.transmit_rows(rows.data(), n, dim, rows_rng);
+    EXPECT_EQ(rows, pack_rows(scalar_out)) << "ber " << ber;
+    EXPECT_EQ(rows_ch.messages_sent(), scalar_ch.messages_sent());
+    EXPECT_EQ(rows_ch.bytes_sent(), scalar_ch.bytes_sent());
+    EXPECT_EQ(rows_ch.bits_corrupted(), scalar_ch.bits_corrupted());
+    // Identical RNG consumption: the streams stay aligned afterwards.
+    EXPECT_EQ(rows_rng.next_u64(), scalar_rng.next_u64()) << "ber " << ber;
+  }
+}
+
+/// Frozen pre-refactor ParameterServer::communicate: the scalar
+/// primitives (CommChannel::transmit, smoothing_average, mean_parameters,
+/// hook, downlink transmits) composed exactly as the retired
+/// implementation. ParameterServer::communicate is a wrapper over
+/// communicate_rows now, so a round-level equivalence check must rebuild
+/// the reference from these still-independently-pinned pieces — comparing
+/// the wrapper against communicate_rows would be a tautology.
+std::vector<std::vector<float>> frozen_scalar_round(
+    const std::vector<std::vector<float>>& uploads, CommChannel& channel,
+    double alpha, Rng& rng, std::vector<float>* consensus_out,
+    const std::function<void(std::vector<std::vector<float>>&)>& hook =
+        nullptr) {
+  std::vector<std::vector<float>> up;
+  up.reserve(uploads.size());
+  for (const auto& p : uploads) up.push_back(channel.transmit(p, rng));
+  std::vector<std::vector<float>> agg = smoothing_average(up, alpha);
+  if (consensus_out != nullptr) *consensus_out = mean_parameters(agg);
+  if (hook) hook(agg);
+  std::vector<std::vector<float>> down;
+  down.reserve(agg.size());
+  for (const auto& p : agg) down.push_back(channel.transmit(p, rng));
+  return down;
+}
+
+TEST(BatchedServerRound, CommunicateRowsMatchesFrozenScalarRound) {
+  const std::size_t n = 3, dim = 64;
+  const auto uploads = random_uploads(n, dim, 1300);
+  const AlphaSchedule schedule(n, 0.6, 20.0);
+  CommChannel ref_channel(0.01);
+  ParameterServer rows_server(n, dim, schedule);
+  rows_server.channel().set_bit_error_rate(0.01);
+  Rng ref_rng(5), rows_rng(5);
+  std::vector<float> ref_consensus;
+  const auto down = frozen_scalar_round(uploads, ref_channel,
+                                        schedule.at(0), ref_rng,
+                                        &ref_consensus);
+  std::vector<float> rows = pack_rows(uploads);
+  rows_server.communicate_rows(rows, rows_rng);
+  EXPECT_EQ(rows, pack_rows(down));
+  EXPECT_EQ(rows_server.consensus(), ref_consensus);
+  EXPECT_EQ(rows_server.round(), 1u);
+  EXPECT_EQ(rows_server.channel().bytes_sent(), ref_channel.bytes_sent());
+  EXPECT_EQ(rows_server.channel().bits_corrupted(),
+            ref_channel.bits_corrupted());
+  EXPECT_EQ(rows_rng.next_u64(), ref_rng.next_u64());
+  // And the compatibility wrapper funnels through the same path.
+  ParameterServer wrapper_server(n, dim, schedule);
+  wrapper_server.channel().set_bit_error_rate(0.01);
+  Rng wrapper_rng(5);
+  EXPECT_EQ(wrapper_server.communicate(uploads, wrapper_rng), down);
+}
+
+TEST(BatchedServerRound, RowsFaultHookMatchesFrozenLegacyHookRound) {
+  // The engine's server-fault injection (span-based inject_int8 over the
+  // aggregate rows, one RNG stream across all rows) must reproduce the
+  // historical vector-of-vectors hook inside the frozen scalar round
+  // bit-for-bit — and so must the legacy-hook adapter in
+  // communicate_rows.
+  const std::size_t n = 4, dim = 80;
+  const auto uploads = random_uploads(n, dim, 1700);
+  FaultSpec spec;
+  spec.ber = 0.05;
+  const AlphaSchedule schedule(n, 0.5);
+  CommChannel ref_channel(0.0);
+  Rng ref_rng(9);
+  const auto down = frozen_scalar_round(
+      uploads, ref_channel, schedule.at(0), ref_rng, nullptr,
+      [&](std::vector<std::vector<float>>& agg) {
+        Rng fault_rng(4242);
+        for (auto& params : agg) inject_int8(params, spec, fault_rng);
+      });
+
+  ParameterServer rows_srv(n, dim, schedule);
+  rows_srv.set_post_aggregate_rows_hook(
+      [&](std::size_t, std::span<float> rows, std::size_t row_dim) {
+        Rng fault_rng(4242);
+        for (std::size_t i = 0; i < n; ++i)
+          inject_int8(rows.subspan(i * row_dim, row_dim), spec, fault_rng);
+      });
+  Rng rows_rng(9);
+  std::vector<float> rows = pack_rows(uploads);
+  rows_srv.communicate_rows(rows, rows_rng);
+  EXPECT_EQ(rows, pack_rows(down));
+
+  // Legacy vector-of-vectors hook through the adapter: same bits.
+  ParameterServer legacy_srv(n, dim, schedule);
+  legacy_srv.set_post_aggregate_hook(
+      [&](std::size_t, std::vector<std::vector<float>>& agg) {
+        Rng fault_rng(4242);
+        for (auto& params : agg) inject_int8(params, spec, fault_rng);
+      });
+  Rng legacy_rng(9);
+  EXPECT_EQ(legacy_srv.communicate(uploads, legacy_rng), down);
+}
+
+/// Small-but-busy gridworld configuration: noisy channel so the comm
+/// round consumes RNG, plus an eps schedule matching the test scale.
+GridWorldFrlSystem::Config grid_config(std::size_t n_agents,
+                                       std::size_t threads) {
+  GridWorldFrlSystem::Config cfg;
+  cfg.n_agents = n_agents;
+  cfg.eps_span = 420;
+  cfg.channel_ber = 1e-3;
+  cfg.threads = threads;
+  return cfg;
+}
+
+/// All agent parameters of a gridworld system, concatenated.
+std::vector<std::vector<float>> grid_params(GridWorldFrlSystem& sys,
+                                            std::size_t n) {
+  std::vector<std::vector<float>> out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(sys.agent_network(i).flat_parameters());
+  return out;
+}
+
+TEST(RoundEngine, GridWorldTrainIsThreadCountInvariant) {
+  // n_agents x threads grid, with a training fault and mitigation active
+  // so every engine stage (episodes, injection, comm round, monitor,
+  // checkpoint restore) runs under the fan-out.
+  for (const std::size_t n_agents : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::vector<float>> serial;
+    MitigationStats serial_stats;
+    std::size_t serial_bytes = 0;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+      GridWorldFrlSystem sys(grid_config(n_agents, threads), 31);
+      TrainingFaultPlan plan;
+      plan.active = true;
+      plan.spec.site = n_agents == 1 ? FaultSite::ServerFault
+                                     : FaultSite::AgentFault;
+      plan.spec.ber = 0.02;
+      plan.spec.episode = 10;
+      sys.set_fault_plan(plan);
+      MitigationPlan mit;
+      mit.enabled = true;
+      mit.detector.drop_percent = 25.0;
+      mit.detector.consecutive_episodes = 5;
+      mit.detector.warmup_episodes = 3;
+      sys.set_mitigation(mit);
+      sys.train(40);
+      const auto params = grid_params(sys, n_agents);
+      if (threads == 1) {
+        serial = params;
+        serial_stats = sys.mitigation_stats();
+        serial_bytes = sys.communication_bytes();
+      } else {
+        EXPECT_EQ(params, serial) << n_agents << " agents, " << threads
+                                  << " threads";
+        EXPECT_EQ(sys.mitigation_stats().checkpoints_taken,
+                  serial_stats.checkpoints_taken);
+        EXPECT_EQ(sys.mitigation_stats().agent_recoveries,
+                  serial_stats.agent_recoveries);
+        EXPECT_EQ(sys.mitigation_stats().server_recoveries,
+                  serial_stats.server_recoveries);
+        EXPECT_EQ(sys.communication_bytes(), serial_bytes);
+      }
+    }
+  }
+}
+
+/// Cheap fresh-key drone config so the pretraining phase stays small.
+DroneFrlSystem::Config drone_config(std::size_t n_drones,
+                                    std::size_t threads) {
+  DroneFrlSystem::Config cfg;
+  cfg.n_drones = n_drones;
+  cfg.imitation_episodes = 8;
+  cfg.channel_ber = 1e-3;
+  cfg.threads = threads;
+  return cfg;
+}
+
+TEST(RoundEngine, DroneTrainIsThreadCountInvariant) {
+  std::vector<std::vector<float>> serial;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    DroneFrlSystem sys(drone_config(3, threads), 57);
+    TrainingFaultPlan plan;
+    plan.active = true;
+    plan.spec.site = FaultSite::ServerFault;
+    plan.spec.ber = 1e-2;
+    plan.spec.episode = 3;
+    sys.set_fault_plan(plan);
+    sys.train(8);
+    std::vector<std::vector<float>> params;
+    for (std::size_t i = 0; i < 3; ++i)
+      params.push_back(sys.drone_network(i).flat_parameters());
+    if (threads == 1) {
+      serial = params;
+    } else {
+      EXPECT_EQ(params, serial) << threads << " threads";
+    }
+  }
+}
+
+TEST(RoundEngine, SnapshotRestoreComposesWithParallelTraining) {
+  // Parallel-trained snapshot == serial-trained snapshot, and restore +
+  // retrain replays identically at a different fan-out.
+  GridWorldFrlSystem parallel(grid_config(4, 3), 63);
+  GridWorldFrlSystem serial(grid_config(4, 1), 63);
+  parallel.train(20);
+  serial.train(20);
+  const auto snap_parallel = parallel.snapshot();
+  const auto snap_serial = serial.snapshot();
+  EXPECT_EQ(snap_parallel.agent_params, snap_serial.agent_params);
+  EXPECT_EQ(snap_parallel.episode, snap_serial.episode);
+  EXPECT_EQ(snap_parallel.round, snap_serial.round);
+
+  parallel.train(15);
+  const auto direct = grid_params(parallel, 4);
+  parallel.restore(snap_parallel);
+  EXPECT_EQ(parallel.episode(), 20u);
+  parallel.train(15);
+  EXPECT_EQ(grid_params(parallel, 4), direct);
+  // And the serial twin retrains to the same place.
+  serial.train(15);
+  EXPECT_EQ(grid_params(serial, 4), direct);
+}
+
+TEST(RoundEngine, ValidatesHooksAndConfig) {
+  FederatedRoundEngine::Config cfg;
+  cfg.n_agents = 2;
+  cfg.parameter_dim = 4;
+  FederatedRoundEngine::Hooks hooks;  // all empty
+  EXPECT_THROW(FederatedRoundEngine(cfg, 1, 2, hooks), Error);
+}
+
+}  // namespace
+}  // namespace frlfi
