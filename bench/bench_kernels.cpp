@@ -18,6 +18,11 @@
 ///    GridWorld train() episode throughput at several engine thread
 ///    counts — both with bit-identity gates (batched round == scalar
 ///    round; parallel train == serial train),
+///  * degraded participation: communicate_round vs communicate_rows at the
+///    same shapes (all-present and busy degraded rounds), with two
+///    bit-identity gates — the all-present round must equal the
+///    synchronous round, and train() under an active all-present plan
+///    must equal the plan-free train,
 ///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
 ///    1000-trial campaign, with a bit-identity check on the stats.
 ///
@@ -117,6 +122,11 @@ struct TrainRoundRow {
   double episodes_per_s = 0.0, speedup = 0.0;  // vs threads = 1
   bool identical = false;  // final params == serial train
 };
+struct ParticipationRow {
+  std::size_t agents = 0, dim = 0;
+  double rows_us = 0.0, full_round_us = 0.0, degraded_us = 0.0;
+  bool identical = false;  // all-present communicate_round == communicate_rows
+};
 struct Report {
   bool quick = false;
   std::vector<ConvRow> conv_forward;
@@ -127,6 +137,8 @@ struct Report {
   std::vector<Trans1Row> trans1;
   std::vector<ServerRoundRow> server_round;
   std::vector<TrainRoundRow> train_round;
+  std::vector<ParticipationRow> participation;
+  bool participation_train_identical = false;  // full plan == plan-free train
   CampaignRow campaign;
 };
 
@@ -553,6 +565,112 @@ bool bench_train_round(bool quick, Report& report) {
   return all_identical;
 }
 
+// The degraded-participation plane: communicate_round timing against the
+// synchronous communicate_rows at the same shapes — the all-Present round
+// (which must delegate to communicate_rows bit-for-bit, RNG position
+// included) and a busy degraded round (dropout + straggler + screened
+// Byzantine row). Plus the engine-level lock: a short GridWorld train()
+// under an active all-present plan must match the plan-free train exactly.
+bool bench_participation(double min_time, bool quick, Report& report) {
+  std::printf(
+      "\n== Degraded participation: communicate_round vs communicate_rows "
+      "==\n");
+  std::printf("(gridworld-policy dim, BER 1e-2, microseconds per round)\n");
+  std::printf("%-8s %8s %12s %12s %12s %14s\n", "agents", "dim", "rows us",
+              "full us", "degraded us", "bit-identical");
+  Rng prng(41);
+  const Network policy = make_gridworld_policy(prng);
+  const std::size_t dim = policy.parameter_count();
+  bool all_identical = true;
+  for (const std::size_t agents : {std::size_t{4}, std::size_t{12}}) {
+    std::vector<float> base(agents * dim);
+    Rng wrng(42);
+    for (auto& v : base) v = static_cast<float>(wrng.uniform(-0.5, 0.5));
+
+    const AlphaSchedule schedule(agents, 0.5);
+    std::vector<float> matrix(agents * dim);
+    const auto reload = [&] { std::copy(base.begin(), base.end(), matrix.begin()); };
+
+    ParameterServer rows_server(agents, dim, schedule);
+    rows_server.channel().set_bit_error_rate(1e-2);
+    Rng rows_rng(43);
+    const double t_rows = time_per_call(min_time, [&] {
+      reload();
+      rows_server.communicate_rows(matrix, rows_rng);
+    });
+
+    const std::vector<AgentRoundStatus> all_present(
+        agents, AgentRoundStatus::Present);
+    ParameterServer::RobustRoundOptions opts;
+    ParameterServer full_server(agents, dim, schedule);
+    full_server.channel().set_bit_error_rate(1e-2);
+    Rng full_rng(43);
+    const double t_full = time_per_call(min_time, [&] {
+      reload();
+      full_server.communicate_round(matrix, all_present, opts, full_rng);
+    });
+
+    // A busy degraded round: one dropped, one straggling, one screened
+    // Byzantine row, L2 screen armed.
+    std::vector<AgentRoundStatus> degraded(agents, AgentRoundStatus::Present);
+    degraded[0] = AgentRoundStatus::Dropped;
+    degraded[1] = AgentRoundStatus::Straggler;
+    degraded[2] = AgentRoundStatus::Byzantine;
+    ParameterServer::RobustRoundOptions screen_opts;
+    screen_opts.screening.l2_norm = true;
+    screen_opts.screening.l2_factor = 3.0;
+    ParameterServer deg_server(agents, dim, schedule);
+    deg_server.channel().set_bit_error_rate(1e-2);
+    Rng deg_rng(43);
+    const double t_deg = time_per_call(min_time, [&] {
+      reload();
+      for (std::size_t d = 0; d < dim; ++d)
+        matrix[2 * dim + d] = (d % 2) ? 50.0f : -50.0f;  // screened garbage
+      deg_server.communicate_round(matrix, degraded, screen_opts, deg_rng);
+    });
+
+    // Bit-identity gate at equal round/rng state: one all-present
+    // communicate_round vs one communicate_rows on fresh servers.
+    ParameterServer a(agents, dim, schedule), b(agents, dim, schedule);
+    a.channel().set_bit_error_rate(1e-2);
+    b.channel().set_bit_error_rate(1e-2);
+    Rng ra(44), rb(44);
+    std::vector<float> ma = base, mb = base;
+    a.communicate_rows(ma, ra);
+    b.communicate_round(mb, all_present, opts, rb);
+    bool identical = ma == mb && a.consensus() == b.consensus() &&
+                     ra.next_u64() == rb.next_u64();
+    all_identical = all_identical && identical;
+
+    report.participation.push_back(
+        {agents, dim, t_rows * 1e6, t_full * 1e6, t_deg * 1e6, identical});
+    std::printf("%-8zu %8zu %12.2f %12.2f %12.2f %14s\n", agents, dim,
+                t_rows * 1e6, t_full * 1e6, t_deg * 1e6,
+                identical ? "YES" : "NO  <-- BUG");
+  }
+
+  // Engine-level lock: active all-present plan == plan-free train.
+  const std::size_t episodes = quick ? 10 : 30;
+  GridWorldFrlSystem::Config cfg;
+  cfg.n_agents = 4;
+  cfg.channel_ber = 1e-3;
+  GridWorldFrlSystem plain(cfg, 77);
+  plain.train(episodes);
+  GridWorldFrlSystem planned(cfg, 77);
+  ParticipationPlan plan;
+  plan.active = true;  // zero rates, screening off: resolves all-present
+  planned.set_participation_plan(plan);
+  planned.train(episodes);
+  bool train_identical = true;
+  for (std::size_t i = 0; i < cfg.n_agents && train_identical; ++i)
+    train_identical = plain.agent_network(i).flat_parameters() ==
+                      planned.agent_network(i).flat_parameters();
+  report.participation_train_identical = train_identical;
+  std::printf("train() under active all-present plan bit-identical: %s\n",
+              train_identical ? "YES" : "NO  <-- BUG");
+  return all_identical && train_identical;
+}
+
 // Emit the collected measurements as JSON (hand-rolled: flat schema, ASCII
 // labels only) so CI and future PRs can diff kernel performance.
 void write_json(const Report& r, const char* path) {
@@ -641,7 +759,20 @@ void write_json(const Report& r, const char* path) {
                  row.identical ? "true" : "false",
                  i + 1 < r.train_round.size() ? "," : "");
   }
-  std::fprintf(f, "    ]\n  },\n  \"hardware_threads\": %u,\n",
+  std::fprintf(f, "    ]\n  },\n  \"participation\": {\n    \"rounds\": [\n");
+  for (std::size_t i = 0; i < r.participation.size(); ++i) {
+    const auto& row = r.participation[i];
+    std::fprintf(f,
+                 "      {\"agents\": %zu, \"dim\": %zu, \"rows_us\": %.4f, "
+                 "\"full_round_us\": %.4f, \"degraded_round_us\": %.4f, "
+                 "\"bit_identical\": %s}%s\n",
+                 row.agents, row.dim, row.rows_us, row.full_round_us,
+                 row.degraded_us, row.identical ? "true" : "false",
+                 i + 1 < r.participation.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n    \"train_full_plan_bit_identical\": %s\n  },\n",
+               r.participation_train_identical ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f,
                "  \"campaign\": {\"trials\": %zu, \"threads\": %zu, "
@@ -756,7 +887,11 @@ int main(int argc, char** argv) {
   const bool trans1_ok = frlfi::bench_trans1(min_time, report);
   const bool round_ok = frlfi::bench_federated_round(min_time, report);
   const bool train_ok = frlfi::bench_train_round(quick, report);
+  const bool part_ok = frlfi::bench_participation(min_time, quick, report);
   const bool identical = frlfi::bench_campaign(trials, threads, report);
   frlfi::write_json(report, "BENCH_kernels.json");
-  return identical && sharded_ok && trans1_ok && round_ok && train_ok ? 0 : 1;
+  return identical && sharded_ok && trans1_ok && round_ok && train_ok &&
+                 part_ok
+             ? 0
+             : 1;
 }

@@ -98,4 +98,30 @@ void mean_parameters_rows(const float* rows, std::size_t n, std::size_t dim,
   for (std::size_t d = 0; d < dim; ++d) mean[d] *= inv;
 }
 
+void trimmed_mean_rows(const float* const* rows, std::size_t m,
+                       std::size_t dim, std::size_t trim_k, float* scratch,
+                       float* out) {
+  FRLFI_CHECK_MSG(m > 2 * trim_k,
+                  "trimmed mean needs > 2k rows, got " << m << " for k "
+                                                       << trim_k);
+  // Non-finite values (NaN from a corrupted row breaks std::sort's strict
+  // weak ordering) rank above every finite value, landing in the trimmed
+  // upper tail.
+  const auto less = [](float a, float b) {
+    const bool fa = std::isfinite(a), fb = std::isfinite(b);
+    if (fa != fb) return fa;
+    if (!fa) return false;
+    return a < b;
+  };
+  const auto inv =
+      static_cast<float>(1.0 / static_cast<double>(m - 2 * trim_k));
+  for (std::size_t d = 0; d < dim; ++d) {
+    for (std::size_t j = 0; j < m; ++j) scratch[j] = rows[j][d];
+    std::sort(scratch, scratch + m, less);
+    float acc = 0.0f;
+    for (std::size_t j = trim_k; j < m - trim_k; ++j) acc += scratch[j];
+    out[d] = acc * inv;
+  }
+}
+
 }  // namespace frlfi

@@ -63,4 +63,15 @@ std::vector<float> mean_parameters(const std::vector<std::vector<float>>& upload
 void mean_parameters_rows(const float* rows, std::size_t n, std::size_t dim,
                           float* mean);
 
+/// Coordinate-wise trimmed mean over m (possibly non-contiguous) rows:
+/// for each coordinate, sort the m contributed values, drop the trim_k
+/// smallest and trim_k largest, and average the rest in sorted order.
+/// Non-finite values sort to the top end, so a NaN/Inf garbage row is
+/// among the first trimmed. Requires m > 2 * trim_k. `scratch` must hold
+/// m floats; `out` holds dim floats. This is the robust-aggregation peer
+/// estimate used by ScreeningConfig::trimmed_mean.
+void trimmed_mean_rows(const float* const* rows, std::size_t m,
+                       std::size_t dim, std::size_t trim_k, float* scratch,
+                       float* out);
+
 }  // namespace frlfi

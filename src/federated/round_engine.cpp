@@ -71,6 +71,17 @@ void FederatedRoundEngine::set_mitigation(const MitigationPlan& plan) {
   }
 }
 
+void FederatedRoundEngine::set_participation_plan(
+    const ParticipationPlan& plan) {
+  if (plan.active) validate_participation_plan(plan, cfg_.n_agents);
+  participation_ = plan;
+  part_stats_ = ParticipationStats{};
+  byzantine_mask_.assign(cfg_.n_agents, 0);
+  if (plan.active)
+    for (std::size_t agent : plan.byzantine_agents)
+      byzantine_mask_[agent] = 1;
+}
+
 std::size_t FederatedRoundEngine::effective_comm_interval() const {
   if (episode_ >= cfg_.boost_after_episode)
     return cfg_.comm_interval * cfg_.comm_interval_boost;
@@ -111,24 +122,102 @@ void FederatedRoundEngine::communicate_if_due() {
   if (!server_) return;
   if ((episode_ + 1) % effective_comm_interval() != 0) return;
 
-  const std::size_t dim = cfg_.parameter_dim;
-  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
-    hooks_.gather_params(
-        i, std::span<float>(round_matrix_.data() + i * dim, dim));
+  if (participation_.active) {
+    communicate_degraded_round();
+  } else {
+    const std::size_t dim = cfg_.parameter_dim;
+    for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+      hooks_.gather_params(
+          i, std::span<float>(round_matrix_.data() + i * dim, dim));
 
-  Rng comm_rng = train_rng_.split(0xC0111 + episode_);
-  server_->communicate_rows(round_matrix_, comm_rng);
+    Rng comm_rng = train_rng_.split(0xC0111 + episode_);
+    server_->communicate_rows(round_matrix_, comm_rng);
 
-  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
-    hooks_.scatter_params(
-        i, std::span<const float>(round_matrix_.data() + i * dim, dim));
+    for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+      hooks_.scatter_params(
+          i, std::span<const float>(round_matrix_.data() + i * dim, dim));
+
+    part_stats_.accumulate_full_round(cfg_.n_agents);
+    if (hooks_.on_round) {
+      RoundParticipationReport rep;
+      rep.round = server_->round() - 1;
+      rep.present = cfg_.n_agents;
+      rep.contributors = cfg_.n_agents;
+      rep.aggregated = true;
+      rep.status.assign(cfg_.n_agents, AgentRoundStatus::Present);
+      hooks_.on_round(rep);
+    }
+  }
 
   // Checkpoint the (pre-fault) consensus, pausing while the detector is
-  // suspicious so recovery state stays clean.
-  if (mitigation_.enabled && !(monitor_ && monitor_->suspicious())) {
+  // suspicious so recovery state stays clean. (The consensus can still be
+  // empty if every round so far had zero receivers.)
+  if (mitigation_.enabled && !(monitor_ && monitor_->suspicious()) &&
+      !server_->consensus().empty()) {
     if (checkpoints_.offer(server_->round(), server_->consensus()))
       ++mit_stats_.checkpoints_taken;
   }
+}
+
+void FederatedRoundEngine::communicate_degraded_round() {
+  const std::size_t dim = cfg_.parameter_dim;
+  const std::size_t round = server_->round();
+
+  // Participation outcomes live on their own derived RNG plane — split
+  // never advances train_rng_, so an all-present resolution leaves the
+  // training stream exactly where the plan-free engine has it.
+  const Rng part_base = train_rng_.split(participation_.stream_tag);
+  status_.resize(cfg_.n_agents);
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+    status_[i] = resolve_agent_round_status(participation_, part_base, round,
+                                            i, byzantine_mask_[i] != 0);
+
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
+    std::span<float> row(round_matrix_.data() + i * dim, dim);
+    switch (status_[i]) {
+      case AgentRoundStatus::Present:
+      case AgentRoundStatus::Straggler:
+        hooks_.gather_params(i, row);
+        break;
+      case AgentRoundStatus::Byzantine: {
+        // Garbage upload from the participation plane (deterministic in
+        // (seed, round, agent), independent of the training stream).
+        Rng garbage = part_base.derive_stream(
+            {kParticipationByzantineTag, round, i});
+        for (float& v : row)
+          v = static_cast<float>(garbage.uniform(
+              -participation_.byzantine_magnitude,
+              participation_.byzantine_magnitude));
+        break;
+      }
+      case AgentRoundStatus::Dropped:
+        // Never transmitted or aggregated; zero-fill so the matrix stays
+        // deterministic for the rows hook.
+        std::fill(row.begin(), row.end(), 0.0f);
+        break;
+    }
+  }
+
+  ParameterServer::RobustRoundOptions opts;
+  opts.straggler_lag = participation_.straggler_lag;
+  opts.stale_decay = participation_.stale_decay;
+  opts.max_staleness = participation_.max_staleness;
+  opts.screening = participation_.screening;
+
+  Rng comm_rng = train_rng_.split(0xC0111 + episode_);
+  RoundParticipationReport rep =
+      server_->communicate_round(round_matrix_, status_, opts, comm_rng);
+
+  // Downlink lands only on receiving agents; dropped agents keep training
+  // on their own stale parameters and stragglers keep the parameters
+  // whose update is still in flight.
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
+    if (receives_downlink(status_[i]))
+      hooks_.scatter_params(
+          i, std::span<const float>(round_matrix_.data() + i * dim, dim));
+
+  part_stats_.accumulate(rep);
+  if (hooks_.on_round) hooks_.on_round(rep);
 }
 
 void FederatedRoundEngine::apply_mitigation(
@@ -183,14 +272,51 @@ void FederatedRoundEngine::train(std::size_t episodes) {
   for (std::size_t e = 0; e < episodes; ++e) run_training_episode();
 }
 
+FederatedRoundEngine::TrainingState FederatedRoundEngine::training_state()
+    const {
+  TrainingState state;
+  state.episode = episode_;
+  state.round = server_ ? server_->round() : 0;
+  state.server_fault_pending = server_fault_pending_;
+  if (server_) state.pending_uploads = server_->pending_uploads();
+  if (mitigation_.enabled && monitor_) {
+    state.has_mitigation_state = true;
+    state.monitor = monitor_->state();
+    state.checkpoints = checkpoints_.state();
+    state.stats = mit_stats_;
+  }
+  return state;
+}
+
+void FederatedRoundEngine::restore_training_state(const TrainingState& state) {
+  episode_ = state.episode;
+  server_fault_pending_ = state.server_fault_pending;
+  if (server_) {
+    server_->set_round(state.round);
+    server_->set_pending_uploads(state.pending_uploads);
+  }
+  if (mitigation_.enabled) {
+    // Fresh machinery first, then overlay the snapshot's history when it
+    // carries one — that is what makes the resumed run's detection
+    // verdicts identical to the uninterrupted run's.
+    set_mitigation(mitigation_);
+    if (state.has_mitigation_state && monitor_) {
+      monitor_->set_state(state.monitor);
+      checkpoints_.set_state(state.checkpoints);
+      mit_stats_ = state.stats;
+    }
+  }
+}
+
 void FederatedRoundEngine::restore_position(std::size_t episode,
                                             std::size_t round) {
-  episode_ = episode;
-  if (server_) server_->set_round(round);
-  server_fault_pending_ = false;
-  // Detector baselines and checkpoints describe the pre-restore timeline;
-  // start the mitigation machinery afresh.
-  if (mitigation_.enabled) set_mitigation(mitigation_);
+  // Position-only restore: no staleness buffer, no pending fault, and the
+  // mitigation machinery restarts afresh — its history describes the
+  // pre-restore timeline.
+  TrainingState state;
+  state.episode = episode;
+  state.round = round;
+  restore_training_state(state);
 }
 
 }  // namespace frlfi

@@ -23,6 +23,16 @@
 ///    resolution, the post-aggregate server-fault row hook (in-place
 ///    int8 injection over the aggregate rows on the historical RNG
 ///    stream), the reward-drop monitor and the checkpoint store.
+///  * **The degraded-participation plane.** An armed ParticipationPlan
+///    resolves per-(round, agent) statuses on its own derived RNG plane
+///    (never the training stream), routes the round through
+///    ParameterServer::communicate_round (partial averaging, staleness
+///    buffer, Byzantine screening), and surfaces per-round reports via
+///    the optional on_round hook. A plan resolving to full participation
+///    with screening off stays bit-identical to the plan-free engine,
+///    RNG stream position included. Dropped agents keep training locally
+///    on their stale parameters — offline means disconnected from the
+///    server, not halted.
 ///
 /// The engine is deliberately ignorant of environments, learners and
 /// network topology — that is the whole system-specific surface, and it
@@ -37,6 +47,7 @@
 
 #include "core/parallel.hpp"
 #include "core/rng.hpp"
+#include "federated/participation.hpp"
 #include "federated/server.hpp"
 #include "frl/plans.hpp"
 #include "mitigation/checkpoint.hpp"
@@ -90,6 +101,10 @@ class FederatedRoundEngine {
     /// faults persist into subsequent episodes).
     std::function<void(std::size_t victim, const FaultSpec& spec, Rng& rng)>
         inject_agent;
+    /// Optional fifth hook: observe each communication round's
+    /// participation report (plan-inactive rounds report all-present).
+    /// Invoked on the orchestration thread, after the round's scatter.
+    std::function<void(const RoundParticipationReport& report)> on_round;
   };
 
   /// `stream_tag` selects the system's training RNG stream:
@@ -103,6 +118,29 @@ class FederatedRoundEngine {
 
   /// Enable/disable the §V-A mitigation scheme (resets its state).
   void set_mitigation(const MitigationPlan& plan);
+
+  /// Arm (or disarm, with plan.active = false) the degraded-participation
+  /// plane; validates the plan against the agent count and resets the
+  /// accumulated participation stats. Without a server (single-agent
+  /// system) there are no communication rounds and the plan is inert.
+  void set_participation_plan(const ParticipationPlan& plan);
+
+  /// The plan in force.
+  const ParticipationPlan& participation_plan() const {
+    return participation_;
+  }
+
+  /// Accumulated per-round participation totals since the plan was set.
+  const ParticipationStats& participation_stats() const {
+    return part_stats_;
+  }
+
+  /// Install/replace the per-round report observer after construction
+  /// (equivalent to Hooks::on_round).
+  void set_round_observer(
+      std::function<void(const RoundParticipationReport&)> observer) {
+    hooks_.on_round = std::move(observer);
+  }
 
   /// Train for `episodes` more episodes (continues from the current
   /// episode counter; faults whose episode falls inside the range fire).
@@ -128,10 +166,38 @@ class FederatedRoundEngine {
   /// Mitigation counters.
   const MitigationStats& mitigation_stats() const { return mit_stats_; }
 
-  /// Reposition the training timeline after a snapshot restore: sets the
-  /// episode/round counters, clears any pending server fault, and (when
-  /// mitigation is enabled) restarts the detector/checkpoint machinery —
-  /// their history describes the pre-restore timeline.
+  /// The engine-side training state a snapshot must carry for a restored
+  /// run to replay the uninterrupted one bit-for-bit: the timeline
+  /// counters, any straggler uploads still in the server's staleness
+  /// buffer, an armed-but-unfired server fault, and the §V-A mitigation
+  /// machinery (detector baselines, checkpoint store, counters) — the
+  /// monitor baseline history is the piece historical snapshots lost.
+  struct TrainingState {
+    std::size_t episode = 0;
+    std::size_t round = 0;
+    bool server_fault_pending = false;
+    std::vector<ParameterServer::PendingUpload> pending_uploads;
+    bool has_mitigation_state = false;
+    RewardDropMonitor::State monitor;
+    CheckpointStore::State checkpoints;
+    MitigationStats stats;
+  };
+
+  /// Capture the current engine-side training state.
+  TrainingState training_state() const;
+
+  /// Restore a captured training state. Mitigation state is applied only
+  /// when both the snapshot carries it and mitigation is currently
+  /// enabled; otherwise the machinery restarts fresh (the historical
+  /// behaviour, still what position-only restores get).
+  void restore_training_state(const TrainingState& state);
+
+  /// Reposition the training timeline after a position-only snapshot
+  /// restore: sets the episode/round counters, clears any pending server
+  /// fault and staleness buffer, and (when mitigation is enabled)
+  /// restarts the detector/checkpoint machinery — their history
+  /// describes the pre-restore timeline. Prefer training_state() /
+  /// restore_training_state() for full-fidelity resume.
   void restore_position(std::size_t episode, std::size_t round);
 
   /// The configuration in force.
@@ -141,6 +207,7 @@ class FederatedRoundEngine {
   void run_training_episode();
   void inject_training_fault_if_due();
   void communicate_if_due();
+  void communicate_degraded_round();
   void apply_mitigation(const std::vector<double>& rewards);
   std::size_t effective_comm_interval() const;
 
@@ -150,6 +217,12 @@ class FederatedRoundEngine {
   std::optional<ParameterServer> server_;
   TrainingFaultPlan fault_plan_;
   MitigationPlan mitigation_;
+  ParticipationPlan participation_;
+  ParticipationStats part_stats_;
+  // Per-agent Byzantine membership resolved once at plan arming, and the
+  // per-round status scratch.
+  std::vector<std::uint8_t> byzantine_mask_;
+  std::vector<AgentRoundStatus> status_;
   std::optional<RewardDropMonitor> monitor_;
   CheckpointStore checkpoints_;
   MitigationStats mit_stats_;

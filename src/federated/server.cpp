@@ -1,8 +1,10 @@
 #include "federated/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/error.hpp"
+#include "tensor/gemm.hpp"
 
 namespace frlfi {
 
@@ -29,8 +31,18 @@ void ParameterServer::communicate_rows(std::span<float> rows, Rng& rng) {
   consensus_.resize(dim_);
   mean_parameters_rows(agg_.data(), n_, dim_, consensus_.data());
 
-  // Post-aggregation hook (fault injection, checkpoint restore). The
-  // legacy vector-of-vectors hook is adapted through a pack/unpack so
+  // Post-aggregation hook (fault injection, checkpoint restore).
+  apply_post_aggregate_hook();
+
+  // Downlink: transmit the aggregates back, landing in the caller's rows.
+  channel_.transmit_rows(agg_.data(), n_, dim_, rng);
+  std::copy(agg_.begin(), agg_.end(), rows.begin());
+
+  ++round_;
+}
+
+void ParameterServer::apply_post_aggregate_hook() {
+  // The legacy vector-of-vectors hook is adapted through a pack/unpack so
   // pre-engine callers see exactly the interface (and bits) they did.
   if (rows_hook_) {
     rows_hook_(round_, std::span<float>(agg_), dim_);
@@ -48,12 +60,253 @@ void ParameterServer::communicate_rows(std::span<float> rows, Rng& rng) {
                 agg_.begin() + static_cast<std::ptrdiff_t>(i * dim_));
     }
   }
+}
 
-  // Downlink: transmit the aggregates back, landing in the caller's rows.
-  channel_.transmit_rows(agg_.data(), n_, dim_, rng);
-  std::copy(agg_.begin(), agg_.end(), rows.begin());
+RoundParticipationReport ParameterServer::communicate_round(
+    std::span<float> rows, std::span<const AgentRoundStatus> status,
+    const RobustRoundOptions& opts, Rng& rng) {
+  FRLFI_CHECK_MSG(rows.size() == n_ * dim_,
+                  "round matrix holds " << rows.size() << " floats for " << n_
+                                        << " x " << dim_);
+  FRLFI_CHECK_MSG(status.size() == n_,
+                  "got " << status.size() << " statuses for " << n_
+                         << " agents");
+  FRLFI_CHECK(opts.straggler_lag >= 1);
+  FRLFI_CHECK(opts.stale_decay > 0.0 && opts.stale_decay <= 1.0);
+
+  RoundParticipationReport rep;
+  rep.round = round_;
+  rep.status.assign(status.begin(), status.end());
+  bool any_pending_due = false;
+  for (const PendingUpload& p : pending_)
+    any_pending_due |= p.deliver_round <= round_;
+  for (AgentRoundStatus s : status) {
+    switch (s) {
+      case AgentRoundStatus::Present: ++rep.present; break;
+      case AgentRoundStatus::Dropped: ++rep.dropped; break;
+      case AgentRoundStatus::Straggler: ++rep.stragglers; break;
+      case AgentRoundStatus::Byzantine: ++rep.byzantine; break;
+    }
+  }
+
+  // Full participation with screening off and nothing stale due is
+  // exactly the synchronous round: take the communicate_rows path
+  // verbatim so the bits (aggregate, RNG stream position, channel
+  // counters) are the locked golden ones.
+  const bool screening_on =
+      opts.screening.l2_norm || opts.screening.trimmed_mean;
+  if (rep.present == n_ && !any_pending_due && !screening_on) {
+    communicate_rows(rows, rng);
+    rep.contributors = n_;
+    rep.aggregated = true;
+    return rep;
+  }
+
+  // Uplink: senders only, row by row in agent order. transmit_rows is
+  // row-sequential, so per-row calls consume the channel RNG and cost
+  // counters exactly as one batched call over the same rows would.
+  for (std::size_t i = 0; i < n_; ++i)
+    if (sends_upload(status[i]))
+      channel_.transmit_rows(rows.data() + i * dim_, 1, dim_, rng);
+
+  // Stragglers: the post-channel payload enters the staleness buffer, to
+  // be folded `straggler_lag` rounds from now with weight
+  // stale_decay^lag — or discarded outright past max_staleness.
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (status[i] != AgentRoundStatus::Straggler) continue;
+    if (opts.straggler_lag > opts.max_staleness) {
+      ++rep.stale_discarded;
+      continue;
+    }
+    PendingUpload p;
+    p.agent = i;
+    p.deliver_round = round_ + opts.straggler_lag;
+    p.weight = static_cast<float>(
+        std::pow(opts.stale_decay, static_cast<double>(opts.straggler_lag)));
+    p.data.assign(rows.begin() + static_cast<std::ptrdiff_t>(i * dim_),
+                  rows.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_));
+    pending_.push_back(std::move(p));
+  }
+
+  // Contributor set: on-time uploads in agent order, then due stale rows
+  // in buffer order (deterministic — insertion is (round, agent) sorted).
+  // A stale row counts as a peer even for its own agent: it is a past
+  // self, not this round's upload.
+  cand_rows_.clear();
+  cand_weights_.clear();
+  ontime_.assign(n_, 0);
+  // Candidate j's agent when it is an on-time row; npos for stale rows.
+  constexpr std::size_t kStaleRow = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> cand_agents;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (status[i] != AgentRoundStatus::Present &&
+        status[i] != AgentRoundStatus::Byzantine)
+      continue;
+    cand_rows_.push_back(rows.data() + i * dim_);
+    cand_weights_.push_back(1.0f);
+    cand_agents.push_back(i);
+    ontime_[i] = 1;
+  }
+  for (const PendingUpload& p : pending_) {
+    if (p.deliver_round > round_) continue;
+    cand_rows_.push_back(p.data.data());
+    cand_weights_.push_back(p.weight);
+    cand_agents.push_back(kStaleRow);
+    ++rep.stale_folded;
+  }
+
+  // L2-norm screen: exclude rows whose norm is off the (lower-)median
+  // contributor norm by more than l2_factor in either direction, plus any
+  // non-finite row. The median row itself always survives, so the screen
+  // can never empty a finite candidate set.
+  if (opts.screening.l2_norm && !cand_rows_.empty()) {
+    const std::size_t m = cand_rows_.size();
+    std::vector<double> norms(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      const float* row = cand_rows_[j];
+      for (std::size_t d = 0; d < dim_; ++d)
+        s += static_cast<double>(row[d]) * static_cast<double>(row[d]);
+      norms[j] = std::sqrt(s);
+    }
+    std::vector<double> sorted = norms;
+    std::sort(sorted.begin(), sorted.end(), [](double a, double b) {
+      const bool fa = std::isfinite(a), fb = std::isfinite(b);
+      if (fa != fb) return fa;
+      if (!fa) return false;
+      return a < b;
+    });
+    const double median = sorted[(m - 1) / 2];
+    const double f = opts.screening.l2_factor;
+    std::size_t kept = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const bool excluded =
+          !std::isfinite(norms[j]) ||
+          (std::isfinite(median) && median > 0.0 &&
+           (norms[j] > f * median || norms[j] * f < median));
+      if (excluded) {
+        ++rep.screened_out;
+        // Clear the on-time flag so the agent's receiver combine no
+        // longer self-excludes a row that is not in the total.
+        if (cand_agents[j] != kStaleRow) ontime_[cand_agents[j]] = 0;
+        continue;
+      }
+      cand_rows_[kept] = cand_rows_[j];
+      cand_weights_[kept] = cand_weights_[j];
+      cand_agents[kept] = cand_agents[j];
+      ++kept;
+    }
+    cand_rows_.resize(kept);
+    cand_weights_.resize(kept);
+    cand_agents.resize(kept);
+  }
+
+  rep.contributors = cand_rows_.size();
+  rep.aggregated = rep.contributors > 0;
+  const double alpha = schedule_.at(round_);
+  const auto alpha_f = static_cast<float>(alpha);
+
+  // Weighted contributor sum (weights are exactly 1.0f for on-time rows,
+  // so the all-contributing accumulation chain matches the synchronous
+  // kernel's).
+  double weight_sum = 0.0;
+  for (float w : cand_weights_) weight_sum += static_cast<double>(w);
+  std::fill(total_.begin(), total_.end(), 0.0f);
+  for (std::size_t j = 0; j < cand_rows_.size(); ++j)
+    axpy(cand_weights_[j], cand_rows_[j], total_.data(), dim_);
+  // Non-receiving rows of the aggregate matrix stay deterministically
+  // zero (the rows hook sees the whole matrix).
+  std::fill(agg_.begin(), agg_.end(), 0.0f);
+
+  const bool trim = opts.screening.trimmed_mean &&
+                    cand_rows_.size() > 2 * opts.screening.trim_k;
+  if (trim) {
+    trim_out_.resize(dim_);
+    trim_scratch_.resize(cand_rows_.size());
+    trimmed_mean_rows(cand_rows_.data(), cand_rows_.size(), dim_,
+                      opts.screening.trim_k, trim_scratch_.data(),
+                      trim_out_.data());
+  }
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!receives_downlink(status[i])) continue;
+    const float* FRLFI_RESTRICT self = rows.data() + i * dim_;
+    float* FRLFI_RESTRICT dst = agg_.data() + i * dim_;
+    if (trim) {
+      // Robust peer estimate: the self term keeps its alpha weight, the
+      // peer mass goes to the coordinate-wise trimmed mean (self
+      // included — rank statistics have no self-exclusion).
+      const auto om = static_cast<float>(1.0 - alpha);
+      const float* FRLFI_RESTRICT tm = trim_out_.data();
+#pragma omp simd
+      for (std::size_t d = 0; d < dim_; ++d)
+        dst[d] = alpha_f * self[d] + om * tm[d];
+    } else {
+      // Partial-participation smoothing average: peers are the weighted
+      // contributors minus the receiver's own on-time row. With every
+      // agent contributing at weight 1 this is byte-for-byte the
+      // synchronous combine (1.0f * self is exact; the peer count
+      // double is exact for any agent count).
+      const float wi = ontime_[i] ? 1.0f : 0.0f;
+      const double peers = weight_sum - static_cast<double>(wi);
+      if (peers > 0.0) {
+        const auto beta = static_cast<float>((1.0 - alpha) / peers);
+        const float* FRLFI_RESTRICT tot = total_.data();
+#pragma omp simd
+        for (std::size_t d = 0; d < dim_; ++d)
+          dst[d] = alpha_f * self[d] + beta * (tot[d] - wi * self[d]);
+      } else {
+        // No peer mass at all: the receiver keeps its own upload.
+        std::copy(self, self + dim_, dst);
+      }
+    }
+  }
+
+  // Consensus over the receiving rows only (zero-filled non-receiver rows
+  // must not drag the mean); same accumulation order as the synchronous
+  // mean when everyone receives.
+  std::size_t n_receivers = 0;
+  for (std::size_t i = 0; i < n_; ++i)
+    n_receivers += receives_downlink(status[i]) ? 1 : 0;
+  if (n_receivers > 0) {
+    consensus_.assign(dim_, 0.0f);
+    for (std::size_t i = 0; i < n_; ++i)
+      if (receives_downlink(status[i]))
+        axpy(1.0f, agg_.data() + i * dim_, consensus_.data(), dim_);
+    const auto inv =
+        static_cast<float>(1.0 / static_cast<double>(n_receivers));
+#pragma omp simd
+    for (std::size_t d = 0; d < dim_; ++d) consensus_[d] *= inv;
+  }
+
+  apply_post_aggregate_hook();
+
+  // Downlink to receivers only, row by row in agent order.
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!receives_downlink(status[i])) continue;
+    channel_.transmit_rows(agg_.data() + i * dim_, 1, dim_, rng);
+    std::copy(agg_.begin() + static_cast<std::ptrdiff_t>(i * dim_),
+              agg_.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_),
+              rows.begin() + static_cast<std::ptrdiff_t>(i * dim_));
+  }
+
+  // Folded stale rows leave the buffer (their storage outlived the
+  // aggregation above).
+  std::erase_if(pending_, [this](const PendingUpload& p) {
+    return p.deliver_round <= round_;
+  });
 
   ++round_;
+  return rep;
+}
+
+void ParameterServer::set_pending_uploads(std::vector<PendingUpload> pending) {
+  for (const PendingUpload& p : pending) {
+    FRLFI_CHECK_MSG(p.agent < n_, "pending upload agent " << p.agent);
+    FRLFI_CHECK_MSG(p.data.size() == dim_,
+                    "pending upload dim " << p.data.size());
+  }
+  pending_ = std::move(pending);
 }
 
 std::vector<std::vector<float>> ParameterServer::communicate(

@@ -7,12 +7,14 @@
 /// aggregated state (the paper's "server faults"), and the mitigation
 /// module attaches its checkpoint store here.
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "federated/aggregation.hpp"
 #include "federated/channel.hpp"
+#include "federated/participation.hpp"
 
 namespace frlfi {
 
@@ -64,6 +66,52 @@ class ParameterServer {
   /// the same rows (which is now this path).
   void communicate_rows(std::span<float> rows, Rng& rng);
 
+  /// Server-side knobs of one degraded round (engine-derived from the
+  /// ParticipationPlan; the server never sees schedule probabilities,
+  /// only resolved statuses).
+  struct RobustRoundOptions {
+    /// Rounds a straggler upload spends in flight (>= 1).
+    std::size_t straggler_lag = 1;
+    /// Stale fold weight is stale_decay^lag, stale_decay in (0, 1].
+    double stale_decay = 0.5;
+    /// Straggler uploads later than this are discarded, bounding the
+    /// staleness buffer.
+    std::size_t max_staleness = 4;
+    ScreeningConfig screening;
+  };
+
+  /// A straggler upload in flight: the post-channel payload of `agent`'s
+  /// round-r upload, folded into round `deliver_round`'s aggregate with
+  /// `weight` = stale_decay^lag. Part of the server's training state —
+  /// the engine captures/restores it across snapshots.
+  struct PendingUpload {
+    std::size_t agent = 0;
+    std::size_t deliver_round = 0;
+    float weight = 1.0f;
+    std::vector<float> data;
+  };
+
+  /// The degraded-participation round: same preallocated row matrix as
+  /// communicate_rows, but only rows whose status sends transmit uplink,
+  /// straggler payloads detour through the staleness buffer, the
+  /// smoothing average runs over the weighted contributor set (on-time
+  /// survivors + due stale rows) with optional Byzantine screening, and
+  /// only receiving rows get the downlink. A round whose statuses resolve
+  /// to all-Present with screening off and an empty buffer takes the
+  /// communicate_rows path verbatim — bit-identical aggregate, RNG
+  /// consumption and channel counters. Rows of non-receiving agents are
+  /// left untouched in `rows` (the caller must not scatter them).
+  RoundParticipationReport communicate_round(
+      std::span<float> rows, std::span<const AgentRoundStatus> status,
+      const RobustRoundOptions& opts, Rng& rng);
+
+  /// Staleness-buffer state (straggler uploads still in flight), exposed
+  /// for snapshot capture; set_pending_uploads restores it.
+  const std::vector<PendingUpload>& pending_uploads() const {
+    return pending_;
+  }
+  void set_pending_uploads(std::vector<PendingUpload> pending);
+
   /// Hook invoked after aggregation but before the downlink, receiving the
   /// mutable per-agent aggregated vectors and the round index. This is
   /// where ServerFault injection and checkpoint-based recovery attach.
@@ -86,6 +134,10 @@ class ParameterServer {
   const std::vector<float>& consensus() const { return consensus_; }
 
  private:
+  /// Post-aggregation hook dispatch shared by communicate_rows and
+  /// communicate_round (rows hook, else the legacy vov adapter).
+  void apply_post_aggregate_hook();
+
   std::size_t n_;
   std::size_t dim_;
   AlphaSchedule schedule_;
@@ -98,6 +150,15 @@ class ParameterServer {
   // the smoothing row-sum (dim).
   std::vector<float> agg_;
   std::vector<float> total_;
+  // Degraded-round state and scratch: straggler uploads in flight plus
+  // the contributor bookkeeping of communicate_round (row pointers /
+  // weights / per-agent on-time flags / trimmed-mean buffers).
+  std::vector<PendingUpload> pending_;
+  std::vector<const float*> cand_rows_;
+  std::vector<float> cand_weights_;
+  std::vector<std::uint8_t> ontime_;
+  std::vector<float> trim_out_;
+  std::vector<float> trim_scratch_;
 };
 
 }  // namespace frlfi

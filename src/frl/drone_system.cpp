@@ -189,7 +189,8 @@ DroneFrlSystem::DroneFrlSystem(Config cfg, std::uint64_t seed)
           },
           [this](std::size_t victim, const FaultSpec& spec, Rng& rng) {
             inject_network_weights(*nets_[victim], spec, rng);
-          }});
+          },
+          /*on_round=*/nullptr});
 }
 
 void DroneFrlSystem::set_fault_plan(const TrainingFaultPlan& plan) {
@@ -267,8 +268,9 @@ double DroneFrlSystem::evaluate_inference_fault(
 
 DroneFrlSystem::Snapshot DroneFrlSystem::snapshot() const {
   Snapshot snap;
-  snap.episode = engine_->episode();
-  snap.round = engine_->round();
+  snap.engine = engine_->training_state();
+  snap.episode = snap.engine.episode;
+  snap.round = snap.engine.round;
   for (const auto& n : nets_) snap.drone_params.push_back(n->flat_parameters());
   for (const auto& l : learners_) snap.baselines.push_back(l->baseline_state());
   return snap;
@@ -282,11 +284,16 @@ void DroneFrlSystem::restore(const Snapshot& snap) {
   FRLFI_CHECK(snap.baselines.size() == learners_.size());
   for (std::size_t i = 0; i < learners_.size(); ++i)
     learners_[i]->set_baseline_state(snap.baselines[i]);
-  engine_->restore_position(snap.episode, snap.round);
+  // Top-level counters win over the engine block so hand-built snapshots
+  // keep their historical position-only semantics.
+  FederatedRoundEngine::TrainingState state = snap.engine;
+  state.episode = snap.episode;
+  state.round = snap.round;
+  engine_->restore_training_state(state);
 }
 
 void DroneFrlSystem::save(std::ostream& os) const {
-  persist::write_header(os, 1);
+  persist::write_header(os, 2);
   const Snapshot snap = snapshot();
   persist::write_u64(os, snap.episode);
   persist::write_u64(os, snap.round);
@@ -296,11 +303,13 @@ void DroneFrlSystem::save(std::ostream& os) const {
     persist::write_floats(os, {b.value});
     persist::write_u64(os, b.initialized ? 1 : 0);
   }
+  persist::write_training_state(os, snap.engine);
 }
 
 void DroneFrlSystem::load(std::istream& is) {
   const std::uint32_t version = persist::read_header(is);
-  FRLFI_CHECK_MSG(version == 1, "unsupported state version " << version);
+  FRLFI_CHECK_MSG(version == 1 || version == 2,
+                  "unsupported state version " << version);
   Snapshot snap;
   snap.episode = static_cast<std::size_t>(persist::read_u64(is));
   snap.round = static_cast<std::size_t>(persist::read_u64(is));
@@ -317,6 +326,10 @@ void DroneFrlSystem::load(std::istream& is) {
     b.initialized = persist::read_u64(is) != 0;
     snap.baselines.push_back(b);
   }
+  // Version-1 files carry no engine block: restore() falls back to the
+  // historical position-only semantics.
+  if (version >= 2)
+    snap.engine = persist::read_training_state(is, cfg_.n_drones);
   restore(snap);
 }
 

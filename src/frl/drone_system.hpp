@@ -66,12 +66,16 @@ class DroneFrlSystem {
     Config();
   };
 
-  /// Training-state snapshot for shared-prefix sweeps.
+  /// Training-state snapshot for shared-prefix sweeps. Carries the
+  /// engine-side state (staleness buffer, pending server fault,
+  /// mitigation history) besides parameters and baselines; the top-level
+  /// episode/round stay authoritative for hand-built snapshots.
   struct Snapshot {
     std::vector<std::vector<float>> drone_params;
     std::vector<ReinforceTrainer::BaselineState> baselines;
     std::size_t episode = 0;
     std::size_t round = 0;
+    FederatedRoundEngine::TrainingState engine;
   };
 
   /// Build the system (runs or reuses the cached offline pretraining).
@@ -86,6 +90,23 @@ class DroneFrlSystem {
 
   /// Enable/disable the §V-A mitigation scheme.
   void set_mitigation(const MitigationPlan& plan);
+
+  /// Arm/disarm the degraded-participation plane (dropout, stragglers,
+  /// Byzantine drones and server-side robust aggregation).
+  void set_participation_plan(const ParticipationPlan& plan) {
+    engine_->set_participation_plan(plan);
+  }
+
+  /// Accumulated participation totals since the plan was set.
+  const ParticipationStats& participation_stats() const {
+    return engine_->participation_stats();
+  }
+
+  /// Observe each communication round's participation report.
+  void set_round_observer(
+      std::function<void(const RoundParticipationReport&)> observer) {
+    engine_->set_round_observer(std::move(observer));
+  }
 
   /// Fine-tune online for `episodes` more episodes.
   void train(std::size_t episodes);

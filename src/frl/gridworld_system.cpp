@@ -56,7 +56,8 @@ GridWorldFrlSystem::GridWorldFrlSystem(Config cfg, std::uint64_t seed)
           },
           [this](std::size_t victim, const FaultSpec& spec, Rng& rng) {
             inject_network_weights(*nets_[victim], spec, rng);
-          }});
+          },
+          /*on_round=*/nullptr});
 }
 
 void GridWorldFrlSystem::set_fault_plan(const TrainingFaultPlan& plan) {
@@ -197,8 +198,9 @@ double GridWorldFrlSystem::evaluate_inference_fault(
 
 GridWorldFrlSystem::Snapshot GridWorldFrlSystem::snapshot() const {
   Snapshot snap;
-  snap.episode = engine_->episode();
-  snap.round = engine_->round();
+  snap.engine = engine_->training_state();
+  snap.episode = snap.engine.episode;
+  snap.round = snap.engine.round;
   for (const auto& n : nets_) snap.agent_params.push_back(n->flat_parameters());
   return snap;
 }
@@ -208,21 +210,29 @@ void GridWorldFrlSystem::restore(const Snapshot& snap) {
                   "snapshot agent count mismatch");
   for (std::size_t i = 0; i < nets_.size(); ++i)
     nets_[i]->set_flat_parameters(snap.agent_params[i]);
-  engine_->restore_position(snap.episode, snap.round);
+  // Top-level counters win over the engine block so hand-built snapshots
+  // (engine state default-empty) keep their historical position-only
+  // semantics.
+  FederatedRoundEngine::TrainingState state = snap.engine;
+  state.episode = snap.episode;
+  state.round = snap.round;
+  engine_->restore_training_state(state);
 }
 
 void GridWorldFrlSystem::save(std::ostream& os) const {
-  persist::write_header(os, 1);
+  persist::write_header(os, 2);
   const Snapshot snap = snapshot();
   persist::write_u64(os, snap.episode);
   persist::write_u64(os, snap.round);
   persist::write_u64(os, snap.agent_params.size());
   for (const auto& p : snap.agent_params) persist::write_floats(os, p);
+  persist::write_training_state(os, snap.engine);
 }
 
 void GridWorldFrlSystem::load(std::istream& is) {
   const std::uint32_t version = persist::read_header(is);
-  FRLFI_CHECK_MSG(version == 1, "unsupported state version " << version);
+  FRLFI_CHECK_MSG(version == 1 || version == 2,
+                  "unsupported state version " << version);
   Snapshot snap;
   snap.episode = static_cast<std::size_t>(persist::read_u64(is));
   snap.round = static_cast<std::size_t>(persist::read_u64(is));
@@ -231,6 +241,10 @@ void GridWorldFrlSystem::load(std::istream& is) {
                                                     << nets_.size());
   for (std::uint64_t i = 0; i < n; ++i)
     snap.agent_params.push_back(persist::read_floats(is));
+  // Version-1 files carry no engine block: restore() falls back to the
+  // historical position-only semantics.
+  if (version >= 2)
+    snap.engine = persist::read_training_state(is, cfg_.n_agents);
   restore(snap);
 }
 

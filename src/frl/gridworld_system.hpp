@@ -54,12 +54,17 @@ class GridWorldFrlSystem {
     GridWorldEnv::Options env;
   };
 
-  /// Opaque training-state snapshot (parameters + episode/round counters)
-  /// enabling the shared-prefix training used by the heatmap sweeps.
+  /// Opaque training-state snapshot enabling the shared-prefix training
+  /// used by the heatmap sweeps. Besides the parameters and timeline
+  /// counters it carries the engine-side state (staleness buffer, pending
+  /// server fault, mitigation history) so a restored run replays the
+  /// uninterrupted one bit-for-bit. The top-level episode/round stay
+  /// authoritative for hand-built snapshots that never filled `engine`.
   struct Snapshot {
     std::vector<std::vector<float>> agent_params;
     std::size_t episode = 0;
     std::size_t round = 0;
+    FederatedRoundEngine::TrainingState engine;
   };
 
   /// Build the system; `seed` drives all training stochasticity.
@@ -74,6 +79,23 @@ class GridWorldFrlSystem {
 
   /// Enable/disable the §V-A mitigation scheme.
   void set_mitigation(const MitigationPlan& plan);
+
+  /// Arm/disarm the degraded-participation plane (dropout, stragglers,
+  /// Byzantine agents and server-side robust aggregation).
+  void set_participation_plan(const ParticipationPlan& plan) {
+    engine_->set_participation_plan(plan);
+  }
+
+  /// Accumulated participation totals since the plan was set.
+  const ParticipationStats& participation_stats() const {
+    return engine_->participation_stats();
+  }
+
+  /// Observe each communication round's participation report.
+  void set_round_observer(
+      std::function<void(const RoundParticipationReport&)> observer) {
+    engine_->set_round_observer(std::move(observer));
+  }
 
   /// Train for `episodes` more episodes (continues from the current
   /// episode counter; faults whose episode falls inside the range fire).

@@ -9,6 +9,8 @@
 #include <iosfwd>
 #include <vector>
 
+#include "federated/round_engine.hpp"
+
 namespace frlfi::persist {
 
 /// Write the "FRLS" header with a format version.
@@ -30,5 +32,14 @@ void write_floats(std::ostream& os, const std::vector<float>& v);
 /// Read a length-prefixed float vector; throws Error on truncation or an
 /// implausible length.
 std::vector<float> read_floats(std::istream& is);
+
+/// Write/read the engine-side training state (version-2 state files):
+/// timeline counters, pending server fault, staleness buffer and the
+/// §V-A mitigation history — the piece version-1 files could not carry.
+/// `n_agents` bounds the monitor vectors on read.
+void write_training_state(std::ostream& os,
+                          const FederatedRoundEngine::TrainingState& state);
+FederatedRoundEngine::TrainingState read_training_state(std::istream& is,
+                                                        std::size_t n_agents);
 
 }  // namespace frlfi::persist

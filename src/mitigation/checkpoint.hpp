@@ -39,6 +39,21 @@ class CheckpointStore {
   /// Checkpoint memory footprint in bytes (the scheme's storage overhead).
   std::size_t memory_bytes() const { return saved_.size() * sizeof(float); }
 
+  /// Store contents and counters, for training-snapshot capture (the
+  /// interval is configuration, not state). Restoring makes a resumed
+  /// run's recovery behaviour identical to the uninterrupted run's.
+  struct State {
+    std::vector<float> saved;
+    std::size_t snapshots = 0;
+    std::size_t restores = 0;
+  };
+  State state() const { return State{saved_, snapshots_, restores_}; }
+  void set_state(const State& state) {
+    saved_ = state.saved;
+    snapshots_ = state.snapshots;
+    restores_ = state.restores;
+  }
+
  private:
   std::size_t interval_;
   std::vector<float> saved_;

@@ -67,4 +67,20 @@ double RewardDropMonitor::baseline(std::size_t agent) const {
   return baseline_[agent];
 }
 
+RewardDropMonitor::State RewardDropMonitor::state() const {
+  return State{baseline_, below_count_, seen_};
+}
+
+void RewardDropMonitor::set_state(const State& state) {
+  FRLFI_CHECK_MSG(state.baseline.size() == n_ &&
+                      state.below_count.size() == n_ &&
+                      state.seen.size() == n_,
+                  "monitor state for " << state.baseline.size()
+                                       << " agents, monitor has " << n_);
+  baseline_ = state.baseline;
+  below_count_ = state.below_count;
+  seen_ = state.seen;
+  flagged_.clear();
+}
+
 }  // namespace frlfi

@@ -63,6 +63,19 @@ class RewardDropMonitor {
   /// Running baseline for one agent (diagnostics/tests).
   double baseline(std::size_t agent) const;
 
+  /// Complete detector state: the running baselines, consecutive-drop
+  /// counters and per-agent observation counts. This is what a training
+  /// snapshot must carry — restoring it makes a resumed run's detection
+  /// verdicts identical to the uninterrupted run's (the historical
+  /// restore path reset the detector, losing the baseline history).
+  struct State {
+    std::vector<double> baseline;
+    std::vector<std::size_t> below_count;
+    std::vector<std::size_t> seen;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::size_t n_;
   Options opts_;

@@ -123,6 +123,67 @@ TEST(CommChannel, CountersResetAndBerValidation) {
   EXPECT_THROW(CommChannel(-0.1), Error);
 }
 
+TEST(CommChannel, TransmitRowsMatchesScalarOnEdgeShapes) {
+  // The batched path is locked to the scalar golden reference on the
+  // shapes most likely to break a vectorized implementation: a single
+  // row (n_agents=1) and dims not divisible by any SIMD width — bits,
+  // counters and RNG stream position all identical.
+  for (const double ber : {0.0, 0.02}) {
+    for (const std::size_t dim :
+         {std::size_t{1}, std::size_t{3}, std::size_t{17}, std::size_t{37},
+          std::size_t{63}}) {
+      for (const std::size_t n_rows : {std::size_t{1}, std::size_t{3}}) {
+        std::vector<std::vector<float>> payloads;
+        Rng data_rng(9000 + dim * 10 + n_rows);
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          std::vector<float> row(dim);
+          for (auto& x : row) x = static_cast<float>(data_rng.uniform(-2, 2));
+          payloads.push_back(row);
+        }
+
+        CommChannel scalar_ch(ber);
+        Rng scalar_rng(17);
+        std::vector<float> expected;
+        for (const auto& p : payloads) {
+          const auto got = scalar_ch.transmit(p, scalar_rng);
+          expected.insert(expected.end(), got.begin(), got.end());
+        }
+
+        CommChannel rows_ch(ber);
+        Rng rows_rng(17);
+        std::vector<float> rows;
+        for (const auto& p : payloads) rows.insert(rows.end(), p.begin(), p.end());
+        rows_ch.transmit_rows(rows.data(), n_rows, dim, rows_rng);
+
+        EXPECT_EQ(rows, expected) << "ber " << ber << " dim " << dim
+                                  << " rows " << n_rows;
+        EXPECT_EQ(rows_ch.messages_sent(), scalar_ch.messages_sent());
+        EXPECT_EQ(rows_ch.bytes_sent(), scalar_ch.bytes_sent());
+        EXPECT_EQ(rows_ch.bits_corrupted(), scalar_ch.bits_corrupted());
+        EXPECT_EQ(rows_rng.next_u64(), scalar_rng.next_u64())
+            << "RNG stream position diverged at ber " << ber << " dim "
+            << dim;
+      }
+    }
+  }
+}
+
+TEST(CommChannel, CleanTransmitRowsIsLosslessAndDrawsNothing) {
+  // BER=0 fast path: quantize/dequantize only, no Bernoulli draws — the
+  // RNG must come back at the same position an untouched twin holds.
+  CommChannel ch(0.0);
+  Rng rng(23);
+  Rng untouched(23);
+  std::vector<float> rows{0.5f, -1.25f, 2.0f, 0.125f, -0.5f, 1.0f};
+  const std::vector<float> before = rows;
+  ch.transmit_rows(rows.data(), 2, 3, rng);
+  EXPECT_EQ(rows, before);  // clean links deliver the payload exactly
+  EXPECT_EQ(ch.bits_corrupted(), 0u);
+  EXPECT_EQ(ch.messages_sent(), 2u);
+  EXPECT_EQ(ch.bytes_sent(), 2 * (3 + sizeof(float)));
+  EXPECT_EQ(rng.next_u64(), untouched.next_u64());
+}
+
 TEST(ParameterServer, RoundTripAggregates) {
   ParameterServer server(3, 2, AlphaSchedule(3, 0.5));
   Rng rng(5);

@@ -88,6 +88,68 @@ TEST(RewardMonitor, Validation) {
   EXPECT_THROW(RewardDropMonitor(2, bad), Error);
 }
 
+TEST(RewardMonitor, StateRoundTripReproducesUninterruptedVerdicts) {
+  // The snapshot gap this closes: restoring a monitor used to reset its
+  // baseline history, so a resumed run re-warmed and missed (or re-timed)
+  // detections. Carrying State must make the resumed verdict stream
+  // identical to the uninterrupted one.
+  RewardDropMonitor mon(3, fast_detector());
+  for (int ep = 0; ep < 8; ++ep) mon.observe({10, 11, 12});
+  mon.observe({10, 2, 12});  // one below-threshold episode in flight
+  const RewardDropMonitor::State mid = mon.state();
+  EXPECT_EQ(mid.baseline.size(), 3u);
+  EXPECT_GT(mid.below_count[1], 0u);
+
+  // Uninterrupted continuation.
+  std::vector<DetectedFault> direct;
+  for (int ep = 0; ep < 4; ++ep) direct.push_back(mon.observe({10, 2, 12}));
+
+  // Fresh monitor resumed from the captured state.
+  RewardDropMonitor resumed(3, fast_detector());
+  resumed.set_state(mid);
+  EXPECT_TRUE(resumed.suspicious());
+  for (std::size_t a = 0; a < 3; ++a)
+    EXPECT_EQ(resumed.baseline(a), mid.baseline[a]);
+  std::vector<DetectedFault> replay;
+  for (int ep = 0; ep < 4; ++ep) replay.push_back(resumed.observe({10, 2, 12}));
+  EXPECT_EQ(replay, direct);
+  EXPECT_EQ(resumed.flagged_agents(), mon.flagged_agents());
+  for (std::size_t a = 0; a < 3; ++a)
+    EXPECT_EQ(resumed.baseline(a), mon.baseline(a));
+}
+
+TEST(RewardMonitor, SetStateValidatesSizes) {
+  RewardDropMonitor mon(3, fast_detector());
+  RewardDropMonitor::State bad = mon.state();
+  bad.baseline.pop_back();
+  EXPECT_THROW(mon.set_state(bad), Error);
+  bad = mon.state();
+  bad.below_count.push_back(0);
+  EXPECT_THROW(mon.set_state(bad), Error);
+  bad = mon.state();
+  bad.seen.clear();
+  EXPECT_THROW(mon.set_state(bad), Error);
+}
+
+TEST(CheckpointStore, StateRoundTripKeepsSnapshotAndCounters) {
+  CheckpointStore store(5);
+  store.offer(5, {3.0f, 4.0f});
+  store.restore();
+  const CheckpointStore::State mid = store.state();
+
+  CheckpointStore resumed(5);
+  resumed.set_state(mid);
+  EXPECT_TRUE(resumed.has_checkpoint());
+  EXPECT_EQ(resumed.restore(), std::vector<float>({3.0f, 4.0f}));
+  EXPECT_EQ(resumed.snapshots_taken(), 1u);
+  EXPECT_EQ(resumed.restores_served(), 2u);
+
+  // Empty state round-trips to "no checkpoint yet".
+  CheckpointStore blank(5);
+  resumed.set_state(blank.state());
+  EXPECT_FALSE(resumed.has_checkpoint());
+}
+
 TEST(CheckpointStore, SnapshotsAtInterval) {
   CheckpointStore store(5);
   EXPECT_FALSE(store.has_checkpoint());
