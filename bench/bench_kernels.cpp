@@ -23,6 +23,11 @@
 ///    bit-identity gates — the all-present round must equal the
 ///    synchronous round, and train() under an active all-present plan
 ///    must equal the plan-free train,
+///  * channel reliability: transmit_rows under the i.i.d. golden path vs
+///    the Gilbert-Elliott burst plane vs the checksum/retry upload
+///    protocol, with three bit-identity gates (degenerate burst config ==
+///    i.i.d. channel including RNG stream position, zero-retry protocol
+///    round == plain round, burst length-1 injector == single-bit golden),
 ///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
 ///    1000-trial campaign, with a bit-identity check on the stats.
 ///
@@ -127,6 +132,11 @@ struct ParticipationRow {
   double rows_us = 0.0, full_round_us = 0.0, degraded_us = 0.0;
   bool identical = false;  // all-present communicate_round == communicate_rows
 };
+struct ChannelRow {
+  std::size_t agents = 0, dim = 0;
+  double iid_us = 0.0, bursty_us = 0.0, reliable_us = 0.0;
+  bool identical = false;  // degenerate Gilbert-Elliott == i.i.d. rows
+};
 struct Report {
   bool quick = false;
   std::vector<ConvRow> conv_forward;
@@ -139,6 +149,9 @@ struct Report {
   std::vector<TrainRoundRow> train_round;
   std::vector<ParticipationRow> participation;
   bool participation_train_identical = false;  // full plan == plan-free train
+  std::vector<ChannelRow> channel;
+  bool channel_zero_retry_identical = false;  // zero-retry round == plain
+  bool channel_burst1_identical = false;      // burst-1 == single-bit golden
   CampaignRow campaign;
 };
 
@@ -671,6 +684,146 @@ bool bench_participation(double min_time, bool quick, Report& report) {
   return all_identical && train_identical;
 }
 
+// The channel-reliability plane: transmit_rows under the i.i.d. golden
+// path, a stormy Gilbert-Elliott burst config, and the checksum/retry
+// upload protocol at the same shapes. Three determinism gates feed the
+// exit code: a degenerate burst config (equal-state BERs, no erasure or
+// reordering) must match the i.i.d. channel bit-for-bit — delivered
+// payloads, cost counters and the caller's RNG stream position — a
+// zero-retry protocol round must match the plain round, and the burst
+// injector at length 1 must match the single-bit golden injector.
+bool bench_channel_reliability(double min_time, Report& report) {
+  std::printf(
+      "\n== Channel reliability: bursty plane vs i.i.d. golden ==\n");
+  std::printf(
+      "(gridworld-policy dim, i.i.d. BER 1e-2, microseconds per round)\n");
+  std::printf("%-8s %8s %12s %12s %12s %14s\n", "agents", "dim", "iid us",
+              "bursty us", "reliable us", "bit-identical");
+  Rng prng(41);
+  const Network policy = make_gridworld_policy(prng);
+  const std::size_t dim = policy.parameter_count();
+  bool all_identical = true;
+
+  BurstyChannelConfig degenerate;
+  degenerate.active = true;
+  degenerate.ber_good = degenerate.ber_bad = 1e-2;
+  BurstyChannelConfig stormy;
+  stormy.active = true;
+  stormy.ber_good = 1e-4;
+  stormy.ber_bad = 0.05;
+  stormy.p_good_to_bad = 0.2;
+  stormy.p_bad_to_good = 0.25;
+  stormy.erasure_rate = 0.05;
+  stormy.reorder_rate = 0.1;
+  stormy.chunk_elems = 16;
+
+  for (const std::size_t agents : {std::size_t{4}, std::size_t{12}}) {
+    std::vector<float> base(agents * dim);
+    Rng wrng(42);
+    for (auto& v : base) v = static_cast<float>(wrng.uniform(-0.5, 0.5));
+    std::vector<float> matrix(agents * dim);
+    const auto reload = [&] {
+      std::copy(base.begin(), base.end(), matrix.begin());
+    };
+
+    CommChannel iid(1e-2);
+    Rng iid_rng(43);
+    const double t_iid = time_per_call(min_time, [&] {
+      reload();
+      iid.transmit_rows(matrix.data(), agents, dim, iid_rng);
+    });
+
+    CommChannel burst;
+    burst.set_bursty(stormy);
+    Rng burst_rng(43);
+    const double t_burst = time_per_call(min_time, [&] {
+      reload();
+      burst.transmit_rows(matrix.data(), agents, dim, burst_rng);
+    });
+
+    UploadProtocolConfig proto;
+    proto.enabled = true;
+    proto.max_retries = 2;
+    CommChannel rel;
+    rel.set_bursty(stormy);
+    Rng rel_rng(43);
+    const double t_rel = time_per_call(min_time, [&] {
+      reload();
+      for (std::size_t i = 0; i < agents; ++i)
+        rel.transmit_reliable(matrix.data() + i * dim, dim, rel_rng, proto);
+    });
+
+    // Gate: degenerate Gilbert-Elliott == i.i.d. at ber_good.
+    CommChannel a(1e-2), b;
+    b.set_bursty(degenerate);
+    Rng ra(44), rb(44);
+    std::vector<float> ma = base, mb = base;
+    a.transmit_rows(ma.data(), agents, dim, ra);
+    b.transmit_rows(mb.data(), agents, dim, rb);
+    const bool identical = ma == mb &&
+                           a.bits_corrupted() == b.bits_corrupted() &&
+                           a.bytes_sent() == b.bytes_sent() &&
+                           a.transmit_seq() == b.transmit_seq() &&
+                           ra.next_u64() == rb.next_u64();
+    all_identical = all_identical && identical;
+    report.channel.push_back(
+        {agents, dim, t_iid * 1e6, t_burst * 1e6, t_rel * 1e6, identical});
+    std::printf("%-8zu %8zu %12.2f %12.2f %12.2f %14s\n", agents, dim,
+                t_iid * 1e6, t_burst * 1e6, t_rel * 1e6,
+                identical ? "YES" : "NO  <-- BUG");
+  }
+
+  // Gate: a zero-retry protocol round == the plain round (no checksum
+  // without the ability to retransmit, so nothing may change).
+  {
+    const std::size_t agents = 8;
+    std::vector<float> base(agents * dim);
+    Rng wrng(45);
+    for (auto& v : base) v = static_cast<float>(wrng.uniform(-0.5, 0.5));
+    const AlphaSchedule schedule(agents, 0.5);
+    const std::vector<AgentRoundStatus> all_present(
+        agents, AgentRoundStatus::Present);
+    ParameterServer plain(agents, dim, schedule);
+    ParameterServer zero(agents, dim, schedule);
+    plain.channel().set_bursty(stormy);
+    zero.channel().set_bursty(stormy);
+    ParameterServer::RobustRoundOptions plain_opts, zero_opts;
+    zero_opts.upload.enabled = true;
+    zero_opts.upload.max_retries = 0;
+    Rng rp(46), rz(46);
+    std::vector<float> mp = base, mz = base;
+    plain.communicate_round(mp, all_present, plain_opts, rp);
+    zero.communicate_round(mz, all_present, zero_opts, rz);
+    report.channel_zero_retry_identical =
+        mp == mz && plain.consensus() == zero.consensus() &&
+        rp.next_u64() == rz.next_u64();
+    std::printf("zero-retry protocol round bit-identical to plain: %s\n",
+                report.channel_zero_retry_identical ? "YES" : "NO  <-- BUG");
+  }
+
+  // Gate: the burst injector at length 1 == the single-bit golden
+  // injector (flips and RNG stream position).
+  {
+    std::vector<std::uint8_t> golden(512);
+    Rng brng(47);
+    for (auto& v : golden)
+      v = static_cast<std::uint8_t>(brng.uniform_index(256));
+    std::vector<std::uint8_t> burst1 = golden;
+    FaultSpec spec;
+    spec.ber = 5e-3;
+    Rng rg(48), rb1(48);
+    const std::size_t ng = corrupt_bits(golden, spec, rg);
+    spec.burst.length = 1;
+    const std::size_t nb = corrupt_bits_burst(burst1, spec, rb1);
+    report.channel_burst1_identical =
+        golden == burst1 && ng == nb && rg.next_u64() == rb1.next_u64();
+    std::printf("burst length-1 injector bit-identical to golden: %s\n",
+                report.channel_burst1_identical ? "YES" : "NO  <-- BUG");
+  }
+  return all_identical && report.channel_zero_retry_identical &&
+         report.channel_burst1_identical;
+}
+
 // Emit the collected measurements as JSON (hand-rolled: flat schema, ASCII
 // labels only) so CI and future PRs can diff kernel performance.
 void write_json(const Report& r, const char* path) {
@@ -772,6 +925,22 @@ void write_json(const Report& r, const char* path) {
   }
   std::fprintf(f, "    ],\n    \"train_full_plan_bit_identical\": %s\n  },\n",
                r.participation_train_identical ? "true" : "false");
+  std::fprintf(f, "  \"channel_reliability\": {\n    \"rounds\": [\n");
+  for (std::size_t i = 0; i < r.channel.size(); ++i) {
+    const auto& row = r.channel[i];
+    std::fprintf(f,
+                 "      {\"agents\": %zu, \"dim\": %zu, \"iid_us\": %.4f, "
+                 "\"bursty_us\": %.4f, \"reliable_us\": %.4f, "
+                 "\"degenerate_bit_identical\": %s}%s\n",
+                 row.agents, row.dim, row.iid_us, row.bursty_us,
+                 row.reliable_us, row.identical ? "true" : "false",
+                 i + 1 < r.channel.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n    \"zero_retry_bit_identical\": %s,\n"
+               "    \"burst1_injector_bit_identical\": %s\n  },\n",
+               r.channel_zero_retry_identical ? "true" : "false",
+               r.channel_burst1_identical ? "true" : "false");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f,
@@ -888,10 +1057,11 @@ int main(int argc, char** argv) {
   const bool round_ok = frlfi::bench_federated_round(min_time, report);
   const bool train_ok = frlfi::bench_train_round(quick, report);
   const bool part_ok = frlfi::bench_participation(min_time, quick, report);
+  const bool channel_ok = frlfi::bench_channel_reliability(min_time, report);
   const bool identical = frlfi::bench_campaign(trials, threads, report);
   frlfi::write_json(report, "BENCH_kernels.json");
   return identical && sharded_ok && trans1_ok && round_ok && train_ok &&
-                 part_ok
+                 part_ok && channel_ok
              ? 0
              : 1;
 }

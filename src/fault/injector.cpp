@@ -9,8 +9,37 @@
 
 namespace frlfi {
 
+namespace {
+
+/// One corrupted bit of a burst: apply the spec's temporal model and
+/// direction constraint to live bit `i`. Returns 1 if the bit changed.
+std::size_t corrupt_one_bit(std::span<std::uint8_t> bytes, std::size_t i,
+                            const FaultSpec& spec) {
+  const bool current = get_bit(bytes, i);
+  switch (spec.model) {
+    case FaultModel::TransientSingleStep:
+    case FaultModel::TransientPersistent:
+      if (spec.direction == FlipDirection::ZeroToOne && current) return 0;
+      if (spec.direction == FlipDirection::OneToZero && !current) return 0;
+      flip_bit(bytes, i);
+      return 1;
+    case FaultModel::StuckAt0:
+      if (!current) return 0;
+      set_bit(bytes, i, false);
+      return 1;
+    case FaultModel::StuckAt1:
+      if (current) return 0;
+      set_bit(bytes, i, true);
+      return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
 std::size_t corrupt_bits(std::span<std::uint8_t> bytes, const FaultSpec& spec,
                          Rng& rng) {
+  if (spec.burst.length > 1) return corrupt_bits_burst(bytes, spec, rng);
   switch (spec.model) {
     case FaultModel::TransientSingleStep:
     case FaultModel::TransientPersistent:
@@ -24,6 +53,74 @@ std::size_t corrupt_bits(std::span<std::uint8_t> bytes, const FaultSpec& spec,
       return stick_bits_ber(bytes, spec.ber, true, rng);
   }
   return 0;
+}
+
+std::size_t corrupt_bits_burst(std::span<std::uint8_t> bytes,
+                               const FaultSpec& spec, Rng& rng,
+                               std::size_t word_bits) {
+  FRLFI_CHECK_MSG(spec.ber >= 0.0 && spec.ber <= 1.0, "BER " << spec.ber);
+  FRLFI_CHECK_MSG(spec.burst.length >= 1,
+                  "burst length " << spec.burst.length);
+  FRLFI_CHECK_MSG(word_bits >= 1, "word_bits " << word_bits);
+  if (spec.ber == 0.0 || bytes.empty()) return 0;
+  const std::size_t nbits = bit_count(bytes);
+  const std::size_t stride =
+      spec.burst.axis == BurstAxis::Row ? std::size_t{1} : word_bits;
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < nbits; ++i) {
+    // The event stream: one draw per bit, exactly flip_bits_ber's /
+    // stick_bits_ber's consumption, so length-1 bursts replay the
+    // single-bit injectors bit for bit.
+    if (!rng.bernoulli(spec.ber)) continue;
+    for (std::size_t k = 0; k < spec.burst.length; ++k) {
+      const std::size_t j = i + k * stride;
+      if (j >= nbits) break;
+      changed += corrupt_one_bit(bytes, j, spec);
+    }
+  }
+  return changed;
+}
+
+std::size_t corrupt_fixed_words_burst(std::span<std::uint32_t> words,
+                                      int word_bits, const FaultSpec& spec,
+                                      Rng& rng) {
+  FRLFI_CHECK_MSG(spec.ber >= 0.0 && spec.ber <= 1.0, "BER " << spec.ber);
+  FRLFI_CHECK_MSG(spec.burst.length >= 1,
+                  "burst length " << spec.burst.length);
+  FRLFI_CHECK_MSG(word_bits >= 1, "word_bits " << word_bits);
+  if (spec.ber == 0.0 || words.empty()) return 0;
+  const auto wb = static_cast<std::size_t>(word_bits);
+  const std::size_t nbits = words.size() * wb;
+  const std::size_t stride =
+      spec.burst.axis == BurstAxis::Row ? std::size_t{1} : wb;
+  const bool transient = spec.model == FaultModel::TransientSingleStep ||
+                         spec.model == FaultModel::TransientPersistent;
+  std::size_t changed = 0;
+  // Word-major, bit-ascending global order: bit g lives at bit (g % wb)
+  // of word (g / wb) — the draw order of FixedPointFlipper and the
+  // reference injector, so length-1 bursts stay on the golden stream.
+  auto corrupt = [&](std::size_t g) {
+    std::uint32_t& raw = words[g / wb];
+    const std::uint32_t bit = 1u << (g % wb);
+    const bool current = (raw & bit) != 0;
+    if (transient) {
+      if (spec.direction == FlipDirection::ZeroToOne && current) return;
+      if (spec.direction == FlipDirection::OneToZero && !current) return;
+    } else if (spec.model == FaultModel::StuckAt0 ? !current : current) {
+      return;
+    }
+    raw ^= bit;
+    ++changed;
+  };
+  for (std::size_t g = 0; g < nbits; ++g) {
+    if (!rng.bernoulli(spec.ber)) continue;
+    for (std::size_t k = 0; k < spec.burst.length; ++k) {
+      const std::size_t j = g + k * stride;
+      if (j >= nbits) break;
+      corrupt(j);
+    }
+  }
+  return changed;
 }
 
 std::size_t flip_bits_ber(std::span<std::uint8_t> bytes, double ber, Rng& rng,
@@ -138,6 +235,19 @@ InjectionReport inject_fixed_point(std::vector<float>& weights,
   const FixedPointCodec codec(format);
   const int word_bits = format.word_bits();
   report.bits_total = weights.size() * static_cast<std::size_t>(word_bits);
+  if (spec.burst.length > 1) {
+    // Correlated-burst plane: encode everything, run the word-major burst
+    // corruptor over the live codewords, decode everything (every weight
+    // passes through the deployed representation, touched or not).
+    std::vector<std::uint32_t> words(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      words[i] = codec.encode(weights[i]);
+    report.bits_flipped =
+        corrupt_fixed_words_burst(words, word_bits, spec, rng);
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      weights[i] = static_cast<float>(codec.decode(words[i]));
+    return report;
+  }
   const FixedPointFlipper flipper(spec, word_bits);
   for (auto& w : weights) {
     std::uint32_t raw = codec.encode(w);

@@ -39,9 +39,33 @@ std::size_t stick_bits_ber(std::span<std::uint8_t> bytes, double ber,
 /// Apply the spec's temporal model (transient flip / stuck-at) to an
 /// integer byte buffer — the single bit-level dispatcher shared by the
 /// in-place int8 injector and DeployedWeights::inject, which is what keeps
-/// their RNG streams aligned. Returns the number of bits changed.
+/// their RNG streams aligned. Returns the number of bits changed. A spec
+/// with burst.length > 1 routes through corrupt_bits_burst, so the
+/// multi-bit plane rides every existing int8 injection surface.
 std::size_t corrupt_bits(std::span<std::uint8_t> bytes, const FaultSpec& spec,
                          Rng& rng);
+
+/// Correlated multi-bit upsets over a byte buffer: one Bernoulli *event*
+/// draw per bit (the identical stream the single-bit injectors consume),
+/// and an event at bit i corrupts the run of spec.burst.length bits
+/// starting there — stride 1 for BurstAxis::Row, stride `word_bits` for
+/// BurstAxis::Column (same bit position of consecutive words), truncated
+/// at the buffer end. Each corrupted bit applies the spec's temporal
+/// model/direction to the live buffer. burst.length == 1 is bit-identical
+/// (flips and RNG stream position) to corrupt_bits' single-bit paths.
+/// Returns the number of bits changed.
+std::size_t corrupt_bits_burst(std::span<std::uint8_t> bytes,
+                               const FaultSpec& spec, Rng& rng,
+                               std::size_t word_bits = 8);
+
+/// The fixed-point form of corrupt_bits_burst: words are live Q(s,i,f)
+/// codewords (masked to `word_bits`), events are drawn word-major /
+/// bit-ascending — exactly the draw order of FixedPointFlipper and the
+/// reference injector, so burst.length == 1 is bit-identical to
+/// inject_fixed_point on the same stream. Returns bits changed.
+std::size_t corrupt_fixed_words_burst(std::span<std::uint32_t> words,
+                                      int word_bits, const FaultSpec& spec,
+                                      Rng& rng);
 
 /// Per-word flip-mask generator for fixed-point injection: resolves the
 /// spec's temporal model + direction once, then draws one Bernoulli per

@@ -6,6 +6,7 @@
 /// by bit error rate (BER), location, and injection time.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace frlfi {
@@ -48,6 +49,26 @@ enum class FlipDirection {
   OneToZero,
 };
 
+/// Direction a multi-bit burst propagates through the memory layout.
+enum class BurstAxis : std::uint8_t {
+  /// Consecutive bits of one word / adjacent words — a DRAM row upset
+  /// (stride 1 in flat bit order).
+  Row,
+  /// The same bit position of consecutive words — a column/IO-line upset
+  /// (stride = word_bits in flat bit order).
+  Column,
+};
+
+/// Spatially-correlated multi-bit upset: every Bernoulli fault *event*
+/// corrupts a run of `length` bits along `axis` instead of a single bit.
+/// length == 1 is exactly the single-bit model — same draws, same flips —
+/// which is the golden-identity lock the burst injectors are tested
+/// against.
+struct BurstSpec {
+  std::size_t length = 1;
+  BurstAxis axis = BurstAxis::Row;
+};
+
 /// Full description of one fault-injection scenario.
 struct FaultSpec {
   FaultModel model = FaultModel::TransientPersistent;
@@ -60,6 +81,10 @@ struct FaultSpec {
   std::size_t agent_index = 0;
   /// Directional constraint on flips.
   FlipDirection direction = FlipDirection::Any;
+  /// Spatial correlation: each fault event corrupts burst.length bits
+  /// along burst.axis. The default (length 1) is the classic independent
+  /// single-bit model.
+  BurstSpec burst;
 };
 
 /// Display name of a fault model ("Trans-M", "Stuck-at-0", ...).
@@ -67,5 +92,8 @@ std::string to_string(FaultModel m);
 
 /// Display name of a fault site ("agent", "server", "activations").
 std::string to_string(FaultSite s);
+
+/// Display name of a burst axis ("row", "column").
+std::string to_string(BurstAxis a);
 
 }  // namespace frlfi

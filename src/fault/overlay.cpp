@@ -121,6 +121,18 @@ InjectionReport DeployedWeights::inject(const FaultSpec& spec, Rng& rng,
   const FixedPointCodec codec(format_);
   const int word_bits = format_.word_bits();
   report.bits_total = base_.size() * static_cast<std::size_t>(word_bits);
+  if (spec.burst.length > 1) {
+    // Correlated-burst plane: a burst spans words, so corrupt a live copy
+    // of the whole clean encode (the same word-major event stream as
+    // inject_fixed_point's burst branch) and record the words that moved
+    // — still ascending, so the overlay contract holds.
+    std::vector<std::uint32_t> words = fixed_words_;
+    report.bits_flipped = corrupt_fixed_words_burst(words, word_bits, spec, rng);
+    for (std::size_t i = 0; i < words.size(); ++i)
+      if (words[i] != fixed_words_[i])
+        out.add(i, static_cast<float>(codec.decode(words[i])));
+    return report;
+  }
   const FixedPointFlipper flipper(spec, word_bits);
   for (std::size_t i = 0; i < fixed_words_.size(); ++i) {
     const std::uint32_t raw = fixed_words_[i];

@@ -1,6 +1,8 @@
 #include "federated/channel.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <span>
 
 #include "core/error.hpp"
@@ -9,6 +11,14 @@
 #include "tensor/gemm.hpp"  // FRLFI_RESTRICT
 
 namespace frlfi {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  FRLFI_CHECK_MSG(p >= 0.0 && p <= 1.0, what << " " << p);
+}
+
+}  // namespace
 
 CommChannel::CommChannel(double bit_error_rate) : ber_(bit_error_rate) {
   FRLFI_CHECK_MSG(ber_ >= 0.0 && ber_ <= 1.0, "channel BER " << ber_);
@@ -19,9 +29,27 @@ void CommChannel::set_bit_error_rate(double ber) {
   ber_ = ber;
 }
 
+void CommChannel::set_bursty(const BurstyChannelConfig& cfg) {
+  if (cfg.active) {
+    check_probability(cfg.ber_good, "bursty ber_good");
+    check_probability(cfg.ber_bad, "bursty ber_bad");
+    check_probability(cfg.p_good_to_bad, "bursty p_good_to_bad");
+    check_probability(cfg.p_bad_to_good, "bursty p_bad_to_good");
+    check_probability(cfg.erasure_rate, "bursty erasure_rate");
+    check_probability(cfg.reorder_rate, "bursty reorder_rate");
+    FRLFI_CHECK_MSG(cfg.chunk_elems >= 1, "bursty chunk_elems 0");
+  }
+  bursty_ = cfg;
+}
+
 std::vector<float> CommChannel::transmit(const std::vector<float>& payload,
                                          Rng& rng) {
+  const bool bursty = bursty_.active && !bursty_degenerate(bursty_);
+  // A degenerate bursty config IS the i.i.d. channel at ber_good: same
+  // code, same draws, same counters — the lock is structural.
+  const double ber = bursty_.active ? bursty_.ber_good : ber_;
   ++messages_;
+  ++seq_;
   if (payload.empty()) return payload;
   // Wire format: 8-bit body (1 byte per parameter — the paper's policies
   // are 8-bit quantized over the air) plus a protected scale header.
@@ -29,7 +57,12 @@ std::vector<float> CommChannel::transmit(const std::vector<float>& payload,
   // endpoints share the codec, so a clean link is exact, while an element
   // that takes a bit flip materializes the corrupted quantized word.
   bytes_ += payload.size() + sizeof(float);
-  if (ber_ <= 0.0) return payload;
+  if (bursty) {
+    std::vector<float> out = payload;
+    transmit_row_bursty(out.data(), out.size(), rng, seq_ - 1);
+    return out;
+  }
+  if (ber <= 0.0) return payload;
 
   const Int8Quantizer q = Int8Quantizer::calibrate(payload);
   std::vector<float> out = payload;
@@ -37,7 +70,7 @@ std::vector<float> CommChannel::transmit(const std::vector<float>& payload,
     std::uint8_t word = static_cast<std::uint8_t>(q.quantize(v));
     bool touched = false;
     for (int b = 0; b < 8; ++b) {
-      if (rng.bernoulli(ber_)) {
+      if (rng.bernoulli(ber)) {
         word = static_cast<std::uint8_t>(word ^ (1u << b));
         touched = true;
         ++corrupted_;
@@ -50,11 +83,18 @@ std::vector<float> CommChannel::transmit(const std::vector<float>& payload,
 
 void CommChannel::transmit_rows(float* rows, std::size_t n_rows,
                                 std::size_t dim, Rng& rng) {
+  const bool bursty = bursty_.active && !bursty_degenerate(bursty_);
+  const double ber = bursty_.active ? bursty_.ber_good : ber_;
   for (std::size_t r = 0; r < n_rows; ++r) {
     ++messages_;
+    ++seq_;
     if (dim == 0) continue;  // empty payload: counted, no bytes (as scalar)
     bytes_ += dim + sizeof(float);
-    if (ber_ <= 0.0) continue;
+    if (bursty) {
+      transmit_row_bursty(rows + r * dim, dim, rng, seq_ - 1);
+      continue;
+    }
+    if (ber <= 0.0) continue;
     float* FRLFI_RESTRICT row = rows + r * dim;
     // Per-row calibration, exactly the scalar transmit's codec.
     const Int8Quantizer q =
@@ -65,7 +105,7 @@ void CommChannel::transmit_rows(float* rows, std::size_t n_rows,
       // always), hits collected into one mask and applied with one XOR.
       std::uint8_t mask = 0;
       for (int b = 0; b < 8; ++b)
-        if (rng.bernoulli(ber_)) mask = static_cast<std::uint8_t>(mask | (1u << b));
+        if (rng.bernoulli(ber)) mask = static_cast<std::uint8_t>(mask | (1u << b));
       if (mask != 0) {
         corrupted_ += static_cast<std::size_t>(std::popcount(mask));
         row[d] = q.dequantize(static_cast<std::int8_t>(word ^ mask));
@@ -74,10 +114,131 @@ void CommChannel::transmit_rows(float* rows, std::size_t n_rows,
   }
 }
 
+void CommChannel::transmit_row_bursty(float* row, std::size_t dim,
+                                      const Rng& rng, std::uint64_t seq) {
+  const BurstyChannelConfig& c = bursty_;
+  // Every burst-plane draw lives on per-message streams derived off the
+  // caller's RNG — split/derive never advance it, so arming the burst
+  // plane cannot move the training stream, and the (persisted) sequence
+  // key makes a restored campaign replay the same weather.
+  Rng state = rng.derive_stream({c.stream_tag, kChannelStateTag, seq});
+  Rng noise = rng.derive_stream({c.stream_tag, kChannelNoiseTag, seq});
+
+  const std::size_t chunk = c.chunk_elems;
+  const std::size_t n_chunks = (dim + chunk - 1) / chunk;
+
+  // Gilbert–Elliott weather: start from the stationary distribution and
+  // evolve per chunk; a sticky bad state (small p_bad_to_good) is what
+  // makes errors arrive in bursts.
+  chunk_bad_.assign(n_chunks, 0);
+  const double denom = c.p_good_to_bad + c.p_bad_to_good;
+  bool bad = denom > 0.0 && state.bernoulli(c.p_good_to_bad / denom);
+  for (std::size_t k = 0; k < n_chunks; ++k) {
+    chunk_bad_[k] = bad ? 1 : 0;
+    bad = bad ? !state.bernoulli(c.p_bad_to_good)
+              : state.bernoulli(c.p_good_to_bad);
+  }
+  chunk_lost_.assign(n_chunks, 0);
+  if (c.erasure_rate > 0.0)
+    for (std::size_t k = 0; k < n_chunks; ++k)
+      chunk_lost_[k] = state.bernoulli(c.erasure_rate) ? 1 : 0;
+
+  // Flips: the same per-element 8-draw mask discipline as the i.i.d.
+  // path, but at the chunk's state BER and from the per-message noise
+  // stream. Lost chunks never arrive, so they draw no noise.
+  const Int8Quantizer q =
+      Int8Quantizer::calibrate(std::span<const float>(row, dim));
+  for (std::size_t d = 0; d < dim; ++d) {
+    const std::size_t k = d / chunk;
+    if (chunk_lost_[k]) continue;
+    const double ber = chunk_bad_[k] ? c.ber_bad : c.ber_good;
+    if (ber <= 0.0) continue;
+    std::uint8_t mask = 0;
+    for (int b = 0; b < 8; ++b)
+      if (noise.bernoulli(ber)) mask = static_cast<std::uint8_t>(mask | (1u << b));
+    if (mask != 0) {
+      corrupted_ += static_cast<std::size_t>(std::popcount(mask));
+      row[d] = q.dequantize(static_cast<std::int8_t>(
+          static_cast<std::uint8_t>(q.quantize(row[d])) ^ mask));
+    }
+  }
+
+  // Erasure: the receiver substitutes zeros for chunks that never came.
+  for (std::size_t k = 0; k < n_chunks; ++k) {
+    if (!chunk_lost_[k]) continue;
+    ++chunks_erased_;
+    const std::size_t lo = k * chunk;
+    const std::size_t hi = std::min(dim, lo + chunk);
+    std::fill(row + lo, row + hi, 0.0f);
+  }
+
+  // Reordering: chunks arrive as a random permutation and the receiver
+  // writes them back in arrival order (lengths preserved, so the tail
+  // chunk reshapes the boundaries — exactly the out-of-order damage a
+  // sequence-number-less transport suffers).
+  if (c.reorder_rate > 0.0 && n_chunks > 1 &&
+      state.bernoulli(c.reorder_rate)) {
+    perm_.resize(n_chunks);
+    for (std::size_t k = 0; k < n_chunks; ++k) perm_[k] = k;
+    state.shuffle(perm_);
+    reorder_scratch_.assign(row, row + dim);
+    std::size_t pos = 0;
+    for (std::size_t k = 0; k < n_chunks; ++k) {
+      const std::size_t src = perm_[k];
+      const std::size_t lo = src * chunk;
+      const std::size_t len = std::min(dim, lo + chunk) - lo;
+      std::copy(reorder_scratch_.begin() + static_cast<std::ptrdiff_t>(lo),
+                reorder_scratch_.begin() + static_cast<std::ptrdiff_t>(lo + len),
+                row + pos);
+      pos += len;
+    }
+    ++reordered_;
+  }
+}
+
+CommChannel::UploadOutcome CommChannel::transmit_reliable(
+    float* row, std::size_t dim, Rng& rng, const UploadProtocolConfig& cfg) {
+  UploadOutcome out;
+  if (!reliable_upload_armed(cfg)) {
+    // Disabled or zero-retry: a single unverified attempt — byte-for-byte
+    // the plain transmit (nothing could be done about corruption anyway).
+    transmit_rows(row, 1, dim, rng);
+    return out;
+  }
+  reliable_orig_.assign(row, row + dim);
+  const auto clean = [&] {
+    return std::equal(row, row + dim, reliable_orig_.begin());
+  };
+  double elapsed = cfg.attempt_timeout;
+  transmit_rows(row, 1, dim, rng);
+  while (!clean()) {
+    if (out.attempts > cfg.max_retries) break;
+    const double backoff =
+        cfg.backoff_base * std::ldexp(1.0, static_cast<int>(out.attempts) - 1);
+    if (elapsed + backoff + cfg.attempt_timeout > cfg.deadline) break;
+    elapsed += backoff + cfg.attempt_timeout;
+    out.backoff += backoff;
+    ++out.attempts;
+    retransmit_bytes_ += dim + sizeof(float);
+    std::copy(reliable_orig_.begin(), reliable_orig_.end(), row);
+    transmit_rows(row, 1, dim, rng);
+  }
+  out.delivered = clean();
+  // A failed upload leaves the clean payload in the row: that is what the
+  // eventual off-deadline retransmission delivers, and what the server
+  // folds into the staleness buffer.
+  if (!out.delivered)
+    std::copy(reliable_orig_.begin(), reliable_orig_.end(), row);
+  return out;
+}
+
 void CommChannel::reset_counters() {
   messages_ = 0;
   bytes_ = 0;
   corrupted_ = 0;
+  retransmit_bytes_ = 0;
+  chunks_erased_ = 0;
+  reordered_ = 0;
 }
 
 }  // namespace frlfi

@@ -27,6 +27,14 @@ void validate_participation_plan(const ParticipationPlan& plan,
                     "l2_factor " << plan.screening.l2_factor);
   if (plan.screening.trimmed_mean)
     FRLFI_CHECK_MSG(plan.screening.trim_k >= 1, "trim_k must be >= 1");
+  if (plan.upload.enabled) {
+    FRLFI_CHECK_MSG(plan.upload.attempt_timeout > 0.0,
+                    "upload attempt_timeout " << plan.upload.attempt_timeout);
+    FRLFI_CHECK_MSG(plan.upload.backoff_base >= 0.0,
+                    "upload backoff_base " << plan.upload.backoff_base);
+    FRLFI_CHECK_MSG(plan.upload.deadline > 0.0,
+                    "upload deadline " << plan.upload.deadline);
+  }
 }
 
 AgentRoundStatus resolve_agent_round_status(const ParticipationPlan& plan,
@@ -82,6 +90,11 @@ void ParticipationStats::accumulate(const RoundParticipationReport& rep) {
   stale_folded += rep.stale_folded;
   stale_discarded += rep.stale_discarded;
   screened_out += rep.screened_out;
+  upload_attempts += rep.upload_attempts;
+  uploads_failed += rep.uploads_failed;
+  failed_stale += rep.failed_stale;
+  failed_dropped += rep.failed_dropped;
+  backoff_seconds += rep.backoff_seconds;
   if (rep.contributors < 2) ++degenerate_rounds;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "federated/channel.hpp"  // UploadProtocolConfig
 
 namespace frlfi {
 
@@ -97,6 +98,12 @@ struct ParticipationPlan {
   double byzantine_magnitude = 10.0;
   /// Server-side robust-aggregation screening.
   ScreeningConfig screening;
+  /// Checksum/retry/backoff upload protocol for on-time senders. An
+  /// upload that exhausts its retry/deadline budget degrades into this
+  /// plane: its clean payload folds in straggler_lag rounds late through
+  /// the staleness buffer (exhausted_to_stale) or is dropped. A
+  /// zero-retry protocol is locked bit-identical to the plain plan path.
+  UploadProtocolConfig upload;
   /// Tag of the participation RNG plane: all participation draws come
   /// from train_rng.split(stream_tag).derive_stream({kind, round, agent}),
   /// never from the training stream itself.
@@ -143,10 +150,24 @@ struct RoundParticipationReport {
   std::size_t screened_out = 0;
   /// Rows that entered the aggregate (on-time survivors + folded stale).
   std::size_t contributors = 0;
+  /// Reliable-upload protocol accounting (zeros while the protocol is
+  /// off): transmit attempts by on-time senders, uploads whose retry/
+  /// deadline budget ran out, how each exhausted upload degraded (folded
+  /// late into the staleness buffer vs dropped), and the simulated
+  /// seconds spent in exponential backoff.
+  std::size_t upload_attempts = 0;
+  std::size_t uploads_failed = 0;
+  std::size_t failed_stale = 0;
+  std::size_t failed_dropped = 0;
+  double backoff_seconds = 0.0;
   /// False when no row contributed (receivers echo their own upload).
   bool aggregated = false;
   /// Per-agent statuses (n entries).
   std::vector<AgentRoundStatus> status;
+  /// Per-agent exhausted-upload flags (n entries when the protocol ran,
+  /// empty otherwise). A flagged agent contributed nothing this round and
+  /// receives no downlink — its link is the thing that failed.
+  std::vector<std::uint8_t> upload_failed;
 };
 
 /// Running totals over a training run's communication rounds.
@@ -161,6 +182,12 @@ struct ParticipationStats {
   std::size_t screened_out = 0;
   /// Rounds where fewer than 2 rows contributed.
   std::size_t degenerate_rounds = 0;
+  /// Reliable-upload totals (see RoundParticipationReport).
+  std::size_t upload_attempts = 0;
+  std::size_t uploads_failed = 0;
+  std::size_t failed_stale = 0;
+  std::size_t failed_dropped = 0;
+  double backoff_seconds = 0.0;
 
   void accumulate(const RoundParticipationReport& rep);
   /// Fast path for plan-inactive rounds: everyone present.

@@ -36,6 +36,7 @@ FederatedRoundEngine::FederatedRoundEngine(const Config& cfg,
         cfg_.n_agents, cfg_.parameter_dim,
         AlphaSchedule(cfg_.n_agents, cfg_.alpha0, cfg_.alpha_tau));
     server_->channel().set_bit_error_rate(cfg_.channel_ber);
+    server_->channel().set_bursty(cfg_.bursty_channel);
     round_matrix_.resize(cfg_.n_agents * cfg_.parameter_dim);
     // Server faults corrupt the aggregated rows in place, row by row on
     // one stream — the exact arithmetic and RNG order of the historical
@@ -203,18 +204,23 @@ void FederatedRoundEngine::communicate_degraded_round() {
   opts.stale_decay = participation_.stale_decay;
   opts.max_staleness = participation_.max_staleness;
   opts.screening = participation_.screening;
+  opts.upload = participation_.upload;
 
   Rng comm_rng = train_rng_.split(0xC0111 + episode_);
   RoundParticipationReport rep =
       server_->communicate_round(round_matrix_, status_, opts, comm_rng);
 
   // Downlink lands only on receiving agents; dropped agents keep training
-  // on their own stale parameters and stragglers keep the parameters
-  // whose update is still in flight.
-  for (std::size_t i = 0; i < cfg_.n_agents; ++i)
-    if (receives_downlink(status_[i]))
-      hooks_.scatter_params(
-          i, std::span<const float>(round_matrix_.data() + i * dim, dim));
+  // on their own stale parameters, stragglers keep the parameters whose
+  // update is still in flight, and an agent whose upload exhausted its
+  // retry budget got no downlink either (its row holds its own clean
+  // payload, not a server aggregate).
+  for (std::size_t i = 0; i < cfg_.n_agents; ++i) {
+    if (!receives_downlink(status_[i])) continue;
+    if (i < rep.upload_failed.size() && rep.upload_failed[i]) continue;
+    hooks_.scatter_params(
+        i, std::span<const float>(round_matrix_.data() + i * dim, dim));
+  }
 
   part_stats_.accumulate(rep);
   if (hooks_.on_round) hooks_.on_round(rep);
@@ -278,7 +284,10 @@ FederatedRoundEngine::TrainingState FederatedRoundEngine::training_state()
   state.episode = episode_;
   state.round = server_ ? server_->round() : 0;
   state.server_fault_pending = server_fault_pending_;
-  if (server_) state.pending_uploads = server_->pending_uploads();
+  if (server_) {
+    state.channel_seq = server_->channel().transmit_seq();
+    state.pending_uploads = server_->pending_uploads();
+  }
   if (mitigation_.enabled && monitor_) {
     state.has_mitigation_state = true;
     state.monitor = monitor_->state();
@@ -293,6 +302,7 @@ void FederatedRoundEngine::restore_training_state(const TrainingState& state) {
   server_fault_pending_ = state.server_fault_pending;
   if (server_) {
     server_->set_round(state.round);
+    server_->channel().set_transmit_seq(state.channel_seq);
     server_->set_pending_uploads(state.pending_uploads);
   }
   if (mitigation_.enabled) {

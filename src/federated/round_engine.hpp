@@ -74,6 +74,12 @@ class FederatedRoundEngine {
     double alpha_tau = 150.0;
     /// Channel bit error rate (0 = clean links).
     double channel_ber = 0.0;
+    /// Bursty/unreliable channel plane (Gilbert–Elliott states, chunk
+    /// erasure and reordering); armed on the server's channel at
+    /// construction. When active it replaces channel_ber; a degenerate
+    /// config (equal-state BERs, no erasure/reordering) stays
+    /// bit-identical to the i.i.d. channel at ber_good.
+    BurstyChannelConfig bursty_channel;
     /// Worker lanes for the per-agent local episodes: 1 = strictly serial
     /// on the calling thread (the historical loop), 0 = FRLFI_NUM_THREADS /
     /// hardware, N = exactly N. train() results are bit-identical for
@@ -176,6 +182,10 @@ class FederatedRoundEngine {
     std::size_t episode = 0;
     std::size_t round = 0;
     bool server_fault_pending = false;
+    /// The channel's persistent transmit sequence number: the key of the
+    /// bursty plane's per-message derived streams (and of retry noise),
+    /// so a restored campaign replays the same channel weather.
+    std::uint64_t channel_seq = 0;
     std::vector<ParameterServer::PendingUpload> pending_uploads;
     bool has_mitigation_state = false;
     RewardDropMonitor::State monitor;

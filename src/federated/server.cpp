@@ -92,10 +92,13 @@ RoundParticipationReport ParameterServer::communicate_round(
   // Full participation with screening off and nothing stale due is
   // exactly the synchronous round: take the communicate_rows path
   // verbatim so the bits (aggregate, RNG stream position, channel
-  // counters) are the locked golden ones.
+  // counters) are the locked golden ones. A retry-capable upload
+  // protocol forces the general path (a retransmission would change the
+  // stream); a disabled or zero-retry protocol does not.
   const bool screening_on =
       opts.screening.l2_norm || opts.screening.trimmed_mean;
-  if (rep.present == n_ && !any_pending_due && !screening_on) {
+  const bool reliable = reliable_upload_armed(opts.upload);
+  if (rep.present == n_ && !any_pending_due && !screening_on && !reliable) {
     communicate_rows(rows, rng);
     rep.contributors = n_;
     rep.aggregated = true;
@@ -104,10 +107,44 @@ RoundParticipationReport ParameterServer::communicate_round(
 
   // Uplink: senders only, row by row in agent order. transmit_rows is
   // row-sequential, so per-row calls consume the channel RNG and cost
-  // counters exactly as one batched call over the same rows would.
-  for (std::size_t i = 0; i < n_; ++i)
-    if (sends_upload(status[i]))
+  // counters exactly as one batched call over the same rows would. With
+  // the protocol armed, on-time rows ride transmit_reliable instead; an
+  // upload that exhausts its retry/deadline budget degrades into the
+  // participation plane right here — its clean payload (what the
+  // eventual late retransmission delivers) enters the staleness buffer
+  // with the straggler fold weight, or is dropped past max_staleness.
+  upload_failed_.assign(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!sends_upload(status[i])) continue;
+    if (!reliable || status[i] == AgentRoundStatus::Straggler) {
       channel_.transmit_rows(rows.data() + i * dim_, 1, dim_, rng);
+      continue;
+    }
+    const CommChannel::UploadOutcome out =
+        channel_.transmit_reliable(rows.data() + i * dim_, dim_, rng,
+                                   opts.upload);
+    rep.upload_attempts += out.attempts;
+    rep.backoff_seconds += out.backoff;
+    if (out.delivered) continue;
+    upload_failed_[i] = 1;
+    ++rep.uploads_failed;
+    if (opts.upload.exhausted_to_stale &&
+        opts.straggler_lag <= opts.max_staleness) {
+      PendingUpload p;
+      p.agent = i;
+      p.deliver_round = round_ + opts.straggler_lag;
+      p.weight = static_cast<float>(
+          std::pow(opts.stale_decay, static_cast<double>(opts.straggler_lag)));
+      p.data.assign(rows.begin() + static_cast<std::ptrdiff_t>(i * dim_),
+                    rows.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_));
+      pending_.push_back(std::move(p));
+      ++rep.failed_stale;
+    } else {
+      ++rep.failed_dropped;
+    }
+  }
+  if (reliable) rep.upload_failed.assign(upload_failed_.begin(),
+                                         upload_failed_.end());
 
   // Stragglers: the post-channel payload enters the staleness buffer, to
   // be folded `straggler_lag` rounds from now with weight
@@ -142,6 +179,7 @@ RoundParticipationReport ParameterServer::communicate_round(
     if (status[i] != AgentRoundStatus::Present &&
         status[i] != AgentRoundStatus::Byzantine)
       continue;
+    if (upload_failed_[i]) continue;  // checksum never passed: no upload
     cand_rows_.push_back(rows.data() + i * dim_);
     cand_weights_.push_back(1.0f);
     cand_agents.push_back(i);
@@ -229,7 +267,7 @@ RoundParticipationReport ParameterServer::communicate_round(
   }
 
   for (std::size_t i = 0; i < n_; ++i) {
-    if (!receives_downlink(status[i])) continue;
+    if (!receives_downlink(status[i]) || upload_failed_[i]) continue;
     const float* FRLFI_RESTRICT self = rows.data() + i * dim_;
     float* FRLFI_RESTRICT dst = agg_.data() + i * dim_;
     if (trim) {
@@ -267,11 +305,11 @@ RoundParticipationReport ParameterServer::communicate_round(
   // mean when everyone receives.
   std::size_t n_receivers = 0;
   for (std::size_t i = 0; i < n_; ++i)
-    n_receivers += receives_downlink(status[i]) ? 1 : 0;
+    n_receivers += (receives_downlink(status[i]) && !upload_failed_[i]) ? 1 : 0;
   if (n_receivers > 0) {
     consensus_.assign(dim_, 0.0f);
     for (std::size_t i = 0; i < n_; ++i)
-      if (receives_downlink(status[i]))
+      if (receives_downlink(status[i]) && !upload_failed_[i])
         axpy(1.0f, agg_.data() + i * dim_, consensus_.data(), dim_);
     const auto inv =
         static_cast<float>(1.0 / static_cast<double>(n_receivers));
@@ -281,9 +319,11 @@ RoundParticipationReport ParameterServer::communicate_round(
 
   apply_post_aggregate_hook();
 
-  // Downlink to receivers only, row by row in agent order.
+  // Downlink to receivers only, row by row in agent order. A failed
+  // uploader's link is the thing that failed: it gets no downlink this
+  // round either (the Dropped semantics it degraded into).
   for (std::size_t i = 0; i < n_; ++i) {
-    if (!receives_downlink(status[i])) continue;
+    if (!receives_downlink(status[i]) || upload_failed_[i]) continue;
     channel_.transmit_rows(agg_.data() + i * dim_, 1, dim_, rng);
     std::copy(agg_.begin() + static_cast<std::ptrdiff_t>(i * dim_),
               agg_.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_),

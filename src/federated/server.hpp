@@ -78,6 +78,11 @@ class ParameterServer {
     /// staleness buffer.
     std::size_t max_staleness = 4;
     ScreeningConfig screening;
+    /// Checksum/retry/backoff protocol applied to on-time uploads
+    /// (Present/Byzantine rows; stragglers are already late and keep the
+    /// single plain transmit). Disabled or zero-retry configurations
+    /// leave the round byte-for-byte on the plain plan path.
+    UploadProtocolConfig upload;
   };
 
   /// A straggler upload in flight: the post-channel payload of `agent`'s
@@ -99,8 +104,15 @@ class ParameterServer {
   /// only receiving rows get the downlink. A round whose statuses resolve
   /// to all-Present with screening off and an empty buffer takes the
   /// communicate_rows path verbatim — bit-identical aggregate, RNG
-  /// consumption and channel counters. Rows of non-receiving agents are
-  /// left untouched in `rows` (the caller must not scatter them).
+  /// consumption and channel counters. With the retry protocol armed,
+  /// on-time uploads go through CommChannel::transmit_reliable; an
+  /// upload that exhausts its budget is excluded from the aggregate and
+  /// the downlink, and its clean payload degrades into the staleness
+  /// buffer (or is dropped) — the failure is absorbed by the
+  /// participation machinery instead of poisoning the round. Rows of
+  /// non-receiving agents are left untouched in `rows` except that a
+  /// failed uploader's row holds its own clean payload (the caller must
+  /// not scatter either).
   RoundParticipationReport communicate_round(
       std::span<float> rows, std::span<const AgentRoundStatus> status,
       const RobustRoundOptions& opts, Rng& rng);
@@ -157,6 +169,7 @@ class ParameterServer {
   std::vector<const float*> cand_rows_;
   std::vector<float> cand_weights_;
   std::vector<std::uint8_t> ontime_;
+  std::vector<std::uint8_t> upload_failed_;
   std::vector<float> trim_out_;
   std::vector<float> trim_scratch_;
 };

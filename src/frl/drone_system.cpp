@@ -172,6 +172,7 @@ DroneFrlSystem::DroneFrlSystem(Config cfg, std::uint64_t seed)
   ecfg.alpha0 = cfg_.alpha0;
   ecfg.alpha_tau = cfg_.alpha_tau;
   ecfg.channel_ber = cfg_.channel_ber;
+  ecfg.bursty_channel = cfg_.channel_bursty;
   ecfg.threads = cfg_.threads;
   engine_ = std::make_unique<FederatedRoundEngine>(
       ecfg, seed, /*stream_tag=*/0xD201E,
@@ -293,7 +294,7 @@ void DroneFrlSystem::restore(const Snapshot& snap) {
 }
 
 void DroneFrlSystem::save(std::ostream& os) const {
-  persist::write_header(os, 2);
+  persist::write_header(os, 3);
   const Snapshot snap = snapshot();
   persist::write_u64(os, snap.episode);
   persist::write_u64(os, snap.round);
@@ -308,7 +309,7 @@ void DroneFrlSystem::save(std::ostream& os) const {
 
 void DroneFrlSystem::load(std::istream& is) {
   const std::uint32_t version = persist::read_header(is);
-  FRLFI_CHECK_MSG(version == 1 || version == 2,
+  FRLFI_CHECK_MSG(version >= 1 && version <= 3,
                   "unsupported state version " << version);
   Snapshot snap;
   snap.episode = static_cast<std::size_t>(persist::read_u64(is));
@@ -329,7 +330,7 @@ void DroneFrlSystem::load(std::istream& is) {
   // Version-1 files carry no engine block: restore() falls back to the
   // historical position-only semantics.
   if (version >= 2)
-    snap.engine = persist::read_training_state(is, cfg_.n_drones);
+    snap.engine = persist::read_training_state(is, cfg_.n_drones, version);
   restore(snap);
 }
 

@@ -49,6 +49,9 @@ class DroneFrlSystem {
     double alpha_tau = 40.0;
     /// Channel bit error rate (0 = clean links).
     double channel_ber = 0.0;
+    /// Bursty/unreliable channel plane (Gilbert–Elliott states, chunk
+    /// erasure/reordering); when active it replaces channel_ber.
+    BurstyChannelConfig channel_bursty;
     /// Worker lanes for the per-drone local training episodes
     /// (FederatedRoundEngine::Config::threads): 1 = serial, 0 = auto, N =
     /// exactly N. train() is bit-identical for every value.

@@ -38,6 +38,7 @@ GridWorldFrlSystem::GridWorldFrlSystem(Config cfg, std::uint64_t seed)
   ecfg.alpha0 = cfg_.alpha0;
   ecfg.alpha_tau = cfg_.alpha_tau;
   ecfg.channel_ber = cfg_.channel_ber;
+  ecfg.bursty_channel = cfg_.channel_bursty;
   ecfg.threads = cfg_.threads;
   engine_ = std::make_unique<FederatedRoundEngine>(
       ecfg, seed, /*stream_tag=*/0x7121A1,
@@ -220,7 +221,7 @@ void GridWorldFrlSystem::restore(const Snapshot& snap) {
 }
 
 void GridWorldFrlSystem::save(std::ostream& os) const {
-  persist::write_header(os, 2);
+  persist::write_header(os, 3);
   const Snapshot snap = snapshot();
   persist::write_u64(os, snap.episode);
   persist::write_u64(os, snap.round);
@@ -231,7 +232,7 @@ void GridWorldFrlSystem::save(std::ostream& os) const {
 
 void GridWorldFrlSystem::load(std::istream& is) {
   const std::uint32_t version = persist::read_header(is);
-  FRLFI_CHECK_MSG(version == 1 || version == 2,
+  FRLFI_CHECK_MSG(version >= 1 && version <= 3,
                   "unsupported state version " << version);
   Snapshot snap;
   snap.episode = static_cast<std::size_t>(persist::read_u64(is));
@@ -244,7 +245,7 @@ void GridWorldFrlSystem::load(std::istream& is) {
   // Version-1 files carry no engine block: restore() falls back to the
   // historical position-only semantics.
   if (version >= 2)
-    snap.engine = persist::read_training_state(is, cfg_.n_agents);
+    snap.engine = persist::read_training_state(is, cfg_.n_agents, version);
   restore(snap);
 }
 

@@ -40,6 +40,9 @@ class GridWorldFrlSystem {
     double alpha_tau = 150.0;
     /// Channel bit error rate (0 = clean links).
     double channel_ber = 0.0;
+    /// Bursty/unreliable channel plane (Gilbert–Elliott states, chunk
+    /// erasure/reordering); when active it replaces channel_ber.
+    BurstyChannelConfig channel_bursty;
     /// Worker lanes for the per-agent local training episodes
     /// (FederatedRoundEngine::Config::threads): 1 = serial, 0 = auto, N =
     /// exactly N. train() is bit-identical for every value.
@@ -170,6 +173,12 @@ class GridWorldFrlSystem {
   /// Uplink+downlink communication bytes so far (0 for single-agent).
   std::size_t communication_bytes() const {
     return engine_->communication_bytes();
+  }
+
+  /// The server's communication channel (null for single-agent): channel
+  /// cost/reliability counters for the Fig. 6b-style ablations.
+  const CommChannel* comm_channel() const {
+    return engine_->server() ? &engine_->server()->channel() : nullptr;
   }
 
  private:

@@ -58,6 +58,9 @@ void write_training_state(std::ostream& os,
   write_u64(os, state.episode);
   write_u64(os, state.round);
   write_u64(os, state.server_fault_pending ? 1 : 0);
+  // Version 3: the channel timeline, placed before the optional
+  // mitigation tail so it is carried whether or not mitigation ran.
+  write_u64(os, state.channel_seq);
   write_u64(os, state.pending_uploads.size());
   for (const ParameterServer::PendingUpload& p : state.pending_uploads) {
     write_u64(os, p.agent);
@@ -81,11 +84,13 @@ void write_training_state(std::ostream& os,
 }
 
 FederatedRoundEngine::TrainingState read_training_state(std::istream& is,
-                                                        std::size_t n_agents) {
+                                                        std::size_t n_agents,
+                                                        std::uint32_t version) {
   FederatedRoundEngine::TrainingState state;
   state.episode = static_cast<std::size_t>(read_u64(is));
   state.round = static_cast<std::size_t>(read_u64(is));
   state.server_fault_pending = read_u64(is) != 0;
+  if (version >= 3) state.channel_seq = read_u64(is);
   const std::uint64_t n_pending = read_u64(is);
   FRLFI_CHECK_MSG(n_pending < (1ull << 20),
                   "implausible staleness buffer size " << n_pending);

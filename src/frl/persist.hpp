@@ -33,13 +33,19 @@ void write_floats(std::ostream& os, const std::vector<float>& v);
 /// implausible length.
 std::vector<float> read_floats(std::istream& is);
 
-/// Write/read the engine-side training state (version-2 state files):
-/// timeline counters, pending server fault, staleness buffer and the
-/// §V-A mitigation history — the piece version-1 files could not carry.
-/// `n_agents` bounds the monitor vectors on read.
+/// Write/read the engine-side training state: timeline counters, pending
+/// server fault, staleness buffer and the §V-A mitigation history — the
+/// piece version-1 files could not carry. Version 3 adds the channel's
+/// persistent transmit sequence number, which keys the bursty-channel and
+/// retry noise streams, so a resumed campaign replays the same channel
+/// weather. Writing always emits the version-3 layout; `version` tells
+/// the reader which fields the file carries (version-2 files load with
+/// channel_seq = 0, the pre-bursty behaviour). `n_agents` bounds the
+/// monitor vectors on read.
 void write_training_state(std::ostream& os,
                           const FederatedRoundEngine::TrainingState& state);
 FederatedRoundEngine::TrainingState read_training_state(std::istream& is,
-                                                        std::size_t n_agents);
+                                                        std::size_t n_agents,
+                                                        std::uint32_t version);
 
 }  // namespace frlfi::persist
