@@ -46,11 +46,12 @@ int main(int argc, char** argv) {
   }
   Table histo("Weight value histogram", {"bin range", "count", "bar"});
   for (int b = 0; b < kBins; ++b) {
-    const float lo = mn + (mx - mn) * b / kBins;
-    const float hi = mn + (mx - mn) * (b + 1) / kBins;
-    std::string bar(static_cast<std::size_t>(
-                        60.0 * hist[b] / static_cast<double>(weights.size())),
-                    '#');
+    const float lo = mn + (mx - mn) * static_cast<float>(b) / kBins;
+    const float hi = mn + (mx - mn) * static_cast<float>(b + 1) / kBins;
+    std::string bar(
+        static_cast<std::size_t>(60.0 * static_cast<double>(hist[b]) /
+                                 static_cast<double>(weights.size())),
+        '#');
     histo.row()
         .cell(format_fixed(lo, 2) + " .. " + format_fixed(hi, 2))
         .num(static_cast<double>(hist[b]), 0)

@@ -170,7 +170,8 @@ const ConvShapeSpec kConvShapes[] = {
 };
 
 double conv_forward_flops(const ConvShapeSpec& s, const Conv2D& conv) {
-  const double taps = static_cast<double>(s.in_c) * s.k * s.k;
+  const double taps = static_cast<double>(s.in_c) *
+                      static_cast<double>(s.k) * static_cast<double>(s.k);
   const double outs = static_cast<double>(s.out_c) *
                       static_cast<double>(conv.out_extent(s.h)) *
                       static_cast<double>(conv.out_extent(s.w));
@@ -241,7 +242,9 @@ void bench_matmul(double min_time, Report& report) {
     const Tensor a = Tensor::random_uniform({d[0], d[1]}, rng, -1.0f, 1.0f);
     const Tensor b = Tensor::random_uniform({d[1], d[2]}, rng, -1.0f, 1.0f);
     const double t = time_per_call(min_time, [&] { Tensor::matmul(a, b); });
-    const double flops = 2.0 * static_cast<double>(d[0]) * d[1] * d[2];
+    const double flops = 2.0 * static_cast<double>(d[0]) *
+                         static_cast<double>(d[1]) *
+                         static_cast<double>(d[2]);
     char label[64];
     std::snprintf(label, sizeof label, "%zux%zu * %zux%zu", d[0], d[1], d[1],
                   d[2]);

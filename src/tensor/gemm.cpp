@@ -39,7 +39,7 @@ inline void accumulate_narrow(const float* FRLFI_RESTRICT a,
     for (std::size_t j = 0; j < n; ++j) {
       const float* FRLFI_RESTRICT brow = bt + j * k;
       float acc = 0.0f;
-#pragma omp simd reduction(+ : acc)
+#pragma omp simd reduction(+ : acc)  // frlfi-lint: allow(R4) fixed-ISA portable build pins the tree shape; locked vs naive golden refs by test_gemm
       for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
       crow[j] += acc;
     }
@@ -204,7 +204,7 @@ void gemm_nt_accumulate(const float* a, const float* b, float* c,
     for (std::size_t j = 0; j < n; ++j) {
       const float* FRLFI_RESTRICT brow = b + j * k;
       float acc = 0.0f;
-#pragma omp simd reduction(+ : acc)
+#pragma omp simd reduction(+ : acc)  // frlfi-lint: allow(R4) fixed-ISA portable build pins the tree shape; locked vs naive golden refs by test_gemm
       for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
       crow[j] += acc;
     }
@@ -234,7 +234,7 @@ void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
       for (std::size_t j = 0; j < n; ++j) {
         const float* FRLFI_RESTRICT brow = bt + j * k;
         float acc = 0.0f;
-#pragma omp simd reduction(+ : acc)
+#pragma omp simd reduction(+ : acc)  // frlfi-lint: allow(R4) fixed-ISA portable build pins the tree shape; locked vs naive golden refs by test_gemm
         for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
         crow[j] = acc;
       }

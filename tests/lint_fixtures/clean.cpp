@@ -1,0 +1,52 @@
+// frlfi_lint fixture: a kitchen sink of look-alikes that must produce
+// ZERO findings — banned names in comments and string literals, ordered
+// containers, word-boundary traps, and member functions that merely
+// share a banned spelling. Never compiled; linted only.
+//
+// Prose mentions that must not fire: std::random_device, rand(), srand(),
+// time(), steady_clock::now(), -ffast-math, -Ofast, and a range-for over
+// an unordered_map.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace frlfi {
+
+inline const char* banner() {
+  return "rand() and time() inside a string literal are fine; so is "
+         "std::random_device and -ffast-math";
+}
+
+// Word-boundary traps: identifiers containing banned stems.
+inline double runtime_estimate(double strand_count, double lifetime) {
+  return strand_count * lifetime;
+}
+
+struct Simulation {
+  double now = 0.0;
+  double sim_time() const { return now; }
+};
+
+// Member access spelled `.time()` / `->time()` is exempt (simulated time,
+// not the wall clock) — only free calls to time() fire.
+struct UploadClock;
+inline double advance(Simulation* sim, UploadClock& clk);
+template <typename T>
+double poll(T& t) {
+  return t.time() + (&t)->time();
+}
+
+inline double ordered_sum(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, w] : weights) total += w;  // ordered: reproducible
+  return total;
+}
+
+inline std::uint64_t derived_tag(const Rng& rng) {
+  return Rng::mix_tags(7, {1, 2});  // non-advancing helpers are fine
+}
+
+}  // namespace frlfi

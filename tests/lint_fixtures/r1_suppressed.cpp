@@ -1,0 +1,8 @@
+// frlfi_lint fixture: an R1 site waived in place — exit code must be 0
+// with exactly one suppressed finding. Never compiled; linted only.
+#include <random>
+
+unsigned entropy_probe() {
+  std::random_device rd;  // frlfi-lint: allow(R1) docs-only entropy probe, never feeds a campaign stream
+  return rd();
+}

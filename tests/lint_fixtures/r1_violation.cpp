@@ -1,0 +1,25 @@
+// frlfi_lint fixture: every banned nondeterminism source, one occurrence
+// each — test_lint pins this file to exactly five R1 findings.
+// Never compiled; linted only.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned hardware_seed() {
+  std::random_device rd;  // R1: nondeterministic entropy
+  return rd();
+}
+
+int legacy_draw() {
+  std::srand(42u);    // R1: hidden global state
+  return std::rand();  // R1
+}
+
+long wall_stamp() {
+  return std::time(nullptr);  // R1: wall clock
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {  // R1
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

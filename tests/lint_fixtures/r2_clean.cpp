@@ -1,0 +1,37 @@
+// frlfi_lint fixture: the blessed lane-body idioms — per-item streams
+// derived non-advancing off a captured parent (split()/derive_stream()),
+// and draws on generators declared inside the body. Zero findings.
+// Never compiled; linted only.
+#include <cstddef>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+
+namespace frlfi {
+
+void per_item_streams(ThreadPool& pool, const Rng& rng, float* out,
+                      std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Rng item = rng.derive_stream({17, i});  // non-advancing derivation
+      out[i] = static_cast<float>(item.uniform());
+    }
+  });
+}
+
+void per_lane_rederived(const Rng& base, double* out, std::size_t agents,
+                        std::size_t n) {
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    std::vector<Rng> rngs(agents, Rng(0));  // lane-local, re-derived per item
+    for (std::size_t t = begin; t < end; ++t) {
+      for (std::size_t a = 0; a < agents; ++a)
+        rngs[a] = base.derive_stream({a, t});
+      for (std::size_t a = 0; a < agents; ++a)
+        out[t * agents + a] = rngs[a].normal();
+    }
+  };
+  dispatch_lanes(0, n, body);
+}
+
+}  // namespace frlfi

@@ -1,0 +1,18 @@
+// frlfi_lint fixture: one waived R2 site (a single-lane dispatch where the
+// partition is provably trivial). Exit 0, one suppressed finding.
+// Never compiled; linted only.
+#include <cstddef>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+
+namespace frlfi {
+
+void single_lane_by_construction(Rng& rng, double* out, std::size_t n) {
+  dispatch_lanes(1, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = rng.uniform();  // frlfi-lint: allow(R2) threads==1 is the serial golden path
+  });
+}
+
+}  // namespace frlfi

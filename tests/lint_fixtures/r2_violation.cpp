@@ -1,0 +1,38 @@
+// frlfi_lint fixture: advancing draws on reference-captured Rng state
+// inside lane bodies — the stream position comes to depend on the lane
+// partition, so results change with the thread count. test_lint pins this
+// file to exactly three R2 findings (one inline lambda, one named body,
+// one suffixed draw). Never compiled; linted only.
+#include <cstddef>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "core/rng.hpp"
+
+namespace frlfi {
+
+void broken_inline_lambda(ThreadPool& pool, Rng& rng, float* out,
+                          std::size_t n) {
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = static_cast<float>(rng.uniform());  // R2
+  });
+}
+
+void broken_named_body(Rng& agent_rng, double* out, std::size_t n) {
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = agent_rng.normal();
+  };
+  dispatch_lanes(0, n, body);
+}
+
+// Suffixed draw names (next_u64, uniform_index, ...) advance the stream
+// just like their stems; the checker matches on the stem.
+void broken_suffixed_draw(Rng& seed_rng, std::vector<std::size_t>& idx) {
+  dispatch_lanes(0, idx.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      idx[i] = static_cast<std::size_t>(seed_rng.next_u64());  // R2
+  });
+}
+
+}  // namespace frlfi

@@ -1,0 +1,11 @@
+// frlfi_lint fixture: a waived R3 site — counting is an order-free fold,
+// so unordered iteration cannot change the result. Exit 0, one
+// suppressed finding. Never compiled; linted only.
+#include <cstddef>
+#include <unordered_set>
+
+std::size_t live_sites(const std::unordered_set<std::size_t>& sites) {
+  std::size_t n = 0;
+  for (std::size_t s : sites) n += (s != 0) ? 1u : 0u;  // frlfi-lint: allow(R3) integer count, order-free
+  return n;
+}

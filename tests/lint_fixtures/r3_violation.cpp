@@ -1,0 +1,19 @@
+// frlfi_lint fixture: range-for over unordered containers feeding float
+// accumulation — iteration order is unspecified, so the reduction order
+// (and its rounding) is not reproducible. Exactly two R3 findings.
+// Never compiled; linted only.
+#include <unordered_map>
+#include <unordered_set>
+
+double order_dependent_sum(
+    const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, w] : weights) total += w;  // R3
+  return total;
+}
+
+float order_dependent_fold(const std::unordered_set<unsigned>& bits) {
+  float acc = 0.0f;
+  for (unsigned b : bits) acc += static_cast<float>(b);  // R3
+  return acc;
+}

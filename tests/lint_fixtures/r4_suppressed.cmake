@@ -1,0 +1,3 @@
+# frlfi_lint fixture: a waived build-file flag. Exit 0, one suppressed
+# finding. Never included by the real build.
+set(THROUGHPUT_EXPERIMENT_FLAGS "-fassociative-math")  # frlfi-lint: allow(R4) throughput-probe preset, never linked into campaign binaries

@@ -1,0 +1,12 @@
+// frlfi_lint fixture: a waived R4 pragma (mirrors the gemm.cpp packed
+// narrow-dot kernels, where the fixed-ISA portable build pins the tree
+// shape and equivalence tests lock the bits). Exit 0, one suppressed
+// finding. Never compiled; linted only.
+#include <cstddef>
+
+float pinned_dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)  // frlfi-lint: allow(R4) fixed-ISA build pins the tree; locked by tests
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}

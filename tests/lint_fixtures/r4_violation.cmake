@@ -1,0 +1,4 @@
+# frlfi_lint fixture: a fast-math flag inside a build file — exactly one
+# R4 finding. Flags named in comments must NOT fire: -Ofast,
+# -funsafe-math-optimizations. Never included by the real build.
+set(CMAKE_CXX_FLAGS_RELEASE "-O3 -ffast-math -DNDEBUG")

@@ -1,0 +1,13 @@
+// frlfi_lint fixture: reduction-reordering pragmas in source — exactly
+// two R4 findings. Never compiled; linted only.
+#include <cstddef>
+
+float reassociated_dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];  // tree follows width
+  return acc;
+}
+
+#pragma GCC optimize("fast-math")
+float wild_sum(const float* a, std::size_t n);

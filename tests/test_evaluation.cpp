@@ -197,7 +197,8 @@ TEST(BatchedCampaign, BitIdenticalAcrossThreadCounts) {
           return std::make_unique<GridWorldEnv>(suite[a % suite.size()], opts);
         },
         [](std::size_t, const Environment&, const EpisodeStats& stats) {
-          return static_cast<double>(stats.total_reward) + stats.steps;
+          return static_cast<double>(stats.total_reward) +
+                 static_cast<double>(stats.steps);
         });
   };
   const std::vector<double> serial = run(1);

@@ -469,7 +469,8 @@ TEST(BatchedTrans1, CampaignMatchesOldSerialTrans1Reference) {
 
   const auto metric = [](std::size_t, const Environment&,
                          const EpisodeStats& stats) {
-    return static_cast<double>(stats.total_reward) + stats.steps;
+    return static_cast<double>(stats.total_reward) +
+           static_cast<double>(stats.steps);
   };
 
   // Old-implementation reference.

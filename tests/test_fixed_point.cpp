@@ -123,9 +123,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(FixedPointFormat::q1_4_11(), FixedPointFormat::q1_7_8(),
                       FixedPointFormat::q1_10_5(), FixedPointFormat{2, 5},
                       FixedPointFormat{0, 7}),
-    [](const ::testing::TestParamInfo<FixedPointFormat>& info) {
-      return "i" + std::to_string(info.param.integer_bits) + "f" +
-             std::to_string(info.param.fraction_bits);
+    [](const ::testing::TestParamInfo<FixedPointFormat>& param_info) {
+      return "i" + std::to_string(param_info.param.integer_bits) + "f" +
+             std::to_string(param_info.param.fraction_bits);
     });
 
 }  // namespace

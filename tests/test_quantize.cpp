@@ -63,7 +63,7 @@ TEST(Int8Quantizer, InvalidScaleThrows) {
 TEST(Int8RoundTrip, ErrorBoundedByScale) {
   std::vector<float> data;
   for (int i = 0; i < 100; ++i)
-    data.push_back(std::sin(i * 0.37f) * 2.0f);
+    data.push_back(std::sin(static_cast<float>(i) * 0.37f) * 2.0f);
   const auto back = int8_roundtrip(data);
   const float step = 2.0f / 127.0f;
   for (std::size_t i = 0; i < data.size(); ++i)

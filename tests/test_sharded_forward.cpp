@@ -86,9 +86,10 @@ TEST(ShardedForward, ShardPlannerRespectsWideKernelThreshold) {
       for (std::size_t s = 0; s < shards; ++s) {
         std::size_t b, e;
         shard_range(batch, shards, s, b, e);
-        if (batch >= kBatchInnerWideKernelMin)
+        if (batch >= kBatchInnerWideKernelMin) {
           EXPECT_GE(e - b, kBatchInnerWideKernelMin)
               << "batch " << batch << " lanes " << lanes << " shard " << s;
+        }
       }
     }
   }
