@@ -5,6 +5,10 @@
 ///  * Tensor::matmul GFLOP/s at small/medium shapes,
 ///  * batched inference: B single-sample policy forwards vs one
 ///    Network::forward_batch at B in {1,4,16,64} on the drone policy,
+///  * int8-native inference: the deployed int8 image executed through the
+///    quant kernels (forward_quant / forward_batch_quant) vs the float
+///    plane at the same drone-policy shapes, with a tolerance gate locking
+///    the int8 logits to the float shadow of the same deployed image,
 ///  * sharded batched inference: a B x threads sweep of forward_batch
 ///    split across a ThreadPool, with a bit-identity check against the
 ///    unsharded forward (wall-clock speedup needs multi-core hardware),
@@ -101,6 +105,11 @@ struct BatchedRow {
   std::size_t batch = 0;
   double single_us = 0.0, batched_us = 0.0, speedup = 0.0;
 };
+struct Int8Row {
+  std::size_t batch = 0;
+  double float_us = 0.0, int8_us = 0.0, speedup = 0.0;
+  bool within_tol = false;  // int8 logits within quant tolerance of shadow
+};
 struct CampaignRow {
   std::size_t trials = 0, threads = 0;
   double serial_tps = 0.0, parallel_tps = 0.0;
@@ -143,6 +152,8 @@ struct Report {
   std::vector<BackwardRow> conv_backward;
   std::vector<MatmulRow> matmul;
   std::vector<BatchedRow> batched;
+  std::vector<Int8Row> int8_inference;
+  double int8_max_abs_diff = 0.0;  // vs the float shadow, across all rows
   std::vector<ShardedRow> sharded;
   std::vector<Trans1Row> trans1;
   std::vector<ServerRoundRow> server_round;
@@ -295,6 +306,70 @@ double bench_batched(double min_time, Report& report) {
   std::printf("B=64 batched speedup: %.2fx %s\n", b64_speedup,
               b64_speedup >= 3.0 ? "(target >=3x: PASS)" : "(target >=3x)");
   return b64_speedup;
+}
+
+// Int8-native inference at the drone policy: the deployed int8 image
+// executed through the quant kernels vs the float plane over the same
+// inputs. The gate locks every int8 logit to the float SHADOW of the same
+// image (views over the dequantized words) within the quantization
+// tolerance — weight quantization error is identical on both planes, so
+// the residual is per-layer activation rounding alone (observed max
+// ~0.005; see tests/test_quant_forward.cpp for the matching lock).
+bool bench_int8_inference(double min_time, Report& report) {
+  constexpr float kTol = 0.05f;
+  std::printf(
+      "\n== Int8-native inference: float plane vs deployed int8 image ==\n");
+  std::printf("(drone policy, per-sample microseconds, headroom 2)\n");
+  std::printf("%-8s %14s %14s %8s %12s\n", "batch", "float us", "int8 us",
+              "speedup", "within tol");
+  Rng rng(15);
+  Network net = make_drone_policy(rng);
+  const DeployedWeights deployed =
+      DeployedWeights::int8_image(net.flat_parameters(), 2.0f);
+  const QuantWeightView qview = deployed.quant_view(nullptr);
+  const WeightView fview = deployed.view(nullptr);
+  bool all_within = true;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{16}, std::size_t{64}}) {
+    Rng xr(16);
+    const Tensor xb =
+        Tensor::random_uniform({batch, 3, 18, 32}, xr, 0.0f, 1.0f);
+    double t_float = 0.0, t_int8 = 0.0;
+    if (batch == 1) {
+      Tensor obs({3, 18, 32});
+      std::copy_n(xb.data().begin(), obs.size(), obs.data().begin());
+      t_float = time_per_call(min_time, [&] { net.forward(obs); });
+      t_int8 =
+          time_per_call(min_time, [&] { net.forward_quant(obs, qview); });
+    } else {
+      t_float =
+          time_per_call(min_time, [&] { net.forward_batch(xb, batch); });
+      t_int8 = time_per_call(
+          min_time, [&] { net.forward_batch_quant(xb, batch, qview); });
+    }
+    // Tolerance gate: int8 logits vs the float shadow of the SAME image.
+    const std::vector<const WeightView*> shadow_views(batch, &fview);
+    const Tensor shadow = net.forward_batch(xb, batch, nullptr, shadow_views);
+    const Tensor qout = net.forward_batch_quant(xb, batch, qview);
+    float maxd = 0.0f;
+    for (std::size_t i = 0; i < qout.size(); ++i)
+      maxd = std::max(maxd, std::abs(qout[i] - shadow[i]));
+    report.int8_max_abs_diff =
+        std::max(report.int8_max_abs_diff, static_cast<double>(maxd));
+    const bool within = maxd < kTol;
+    all_within = all_within && within;
+    report.int8_inference.push_back(
+        {batch, t_float * 1e6 / static_cast<double>(batch),
+         t_int8 * 1e6 / static_cast<double>(batch), t_float / t_int8,
+         within});
+    std::printf("%-8zu %14.2f %14.2f %7.2fx %12s\n", batch,
+                t_float * 1e6 / static_cast<double>(batch),
+                t_int8 * 1e6 / static_cast<double>(batch), t_float / t_int8,
+                within ? "YES" : "NO  <-- BUG");
+  }
+  std::printf("max |int8 - float shadow| across rows: %.6f (gate < %.2f)\n",
+              report.int8_max_abs_diff, static_cast<double>(kTol));
+  return all_within;
 }
 
 // Multi-core sharded inference: one forward_batch split into per-lane
@@ -869,7 +944,21 @@ void write_json(const Report& r, const char* path) {
                  row.batch, row.single_us, row.batched_us, row.speedup,
                  i + 1 < r.batched.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"sharded_inference\": [\n");
+  std::fprintf(f, "  ],\n  \"int8_inference\": {\n    \"rows\": [\n");
+  for (std::size_t i = 0; i < r.int8_inference.size(); ++i) {
+    const auto& row = r.int8_inference[i];
+    std::fprintf(f,
+                 "      {\"batch\": %zu, \"float_us_per_sample\": %.4f, "
+                 "\"int8_us_per_sample\": %.4f, \"speedup\": %.3f, "
+                 "\"within_tolerance\": %s}%s\n",
+                 row.batch, row.float_us, row.int8_us, row.speedup,
+                 row.within_tol ? "true" : "false",
+                 i + 1 < r.int8_inference.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ],\n    \"max_abs_diff_vs_float_shadow\": %.6f\n  },\n",
+               r.int8_max_abs_diff);
+  std::fprintf(f, "  \"sharded_inference\": [\n");
   for (std::size_t i = 0; i < r.sharded.size(); ++i) {
     const auto& row = r.sharded[i];
     std::fprintf(f,
@@ -1053,8 +1142,10 @@ int main(int argc, char** argv) {
   frlfi::bench_matmul(min_time, report);
   frlfi::bench_batched(min_time, report);
   // Nonzero exit on a determinism regression so the CI smoke run fails —
-  // the campaign reduction, the sharded-forward bit-identity, and the
-  // Trans-1 overlay-vs-clone bit-identity.
+  // the campaign reduction, the sharded-forward bit-identity, the
+  // Trans-1 overlay-vs-clone bit-identity, and the int8 plane's
+  // tolerance lock against the float shadow.
+  const bool int8_ok = frlfi::bench_int8_inference(min_time, report);
   const bool sharded_ok = frlfi::bench_sharded(min_time, report);
   const bool trans1_ok = frlfi::bench_trans1(min_time, report);
   const bool round_ok = frlfi::bench_federated_round(min_time, report);
@@ -1063,8 +1154,8 @@ int main(int argc, char** argv) {
   const bool channel_ok = frlfi::bench_channel_reliability(min_time, report);
   const bool identical = frlfi::bench_campaign(trials, threads, report);
   frlfi::write_json(report, "BENCH_kernels.json");
-  return identical && sharded_ok && trans1_ok && round_ok && train_ok &&
-                 part_ok && channel_ok
+  return identical && int8_ok && sharded_ok && trans1_ok && round_ok &&
+                 train_ok && part_ok && channel_ok
              ? 0
              : 1;
 }

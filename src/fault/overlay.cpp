@@ -26,6 +26,52 @@ void WeightOverlay::apply_to(std::vector<float>& weights) const {
   }
 }
 
+void QuantOverlay::add(std::size_t index, std::int8_t word) {
+  FRLFI_CHECK_MSG(indices.empty() || index > indices.back(),
+                  "quant overlay index " << index << " after " << indices.back());
+  indices.push_back(index);
+  words.push_back(word);
+}
+
+void QuantOverlay::apply_to(std::vector<std::int8_t>& words_out) const {
+  for (std::size_t e = 0; e < indices.size(); ++e) {
+    FRLFI_CHECK_MSG(indices[e] < words_out.size(),
+                    "quant overlay index " << indices[e] << " in "
+                                           << words_out.size());
+    words_out[indices[e]] = words[e];
+  }
+}
+
+std::int8_t QuantWeightView::at(std::size_t i) const {
+  FRLFI_CHECK_MSG(i < params, "quant view index " << i << " in " << params);
+  if (overlay != nullptr) {
+    const auto it =
+        std::lower_bound(overlay->indices.begin(), overlay->indices.end(), i);
+    if (it != overlay->indices.end() && *it == i)
+      return overlay->words[static_cast<std::size_t>(
+          it - overlay->indices.begin())];
+  }
+  return base[i];
+}
+
+const std::int8_t* QuantWeightView::span(
+    std::size_t offset, std::size_t count,
+    std::vector<std::int8_t>& scratch) const {
+  FRLFI_CHECK_MSG(offset + count <= params,
+                  "quant view span [" << offset << ", " << offset + count
+                                      << ") in " << params);
+  if (overlay == nullptr || overlay->empty()) return base + offset;
+  const auto lo = std::lower_bound(overlay->indices.begin(),
+                                   overlay->indices.end(), offset);
+  if (lo == overlay->indices.end() || *lo >= offset + count)
+    return base + offset;
+  scratch.assign(base + offset, base + offset + count);
+  for (auto it = lo; it != overlay->indices.end() && *it < offset + count; ++it)
+    scratch[*it - offset] =
+        overlay->words[static_cast<std::size_t>(it - overlay->indices.begin())];
+  return scratch.data();
+}
+
 float WeightView::at(std::size_t i) const {
   FRLFI_CHECK_MSG(i < params, "view index " << i << " in " << params);
   if (overlay != nullptr) {
@@ -93,6 +139,41 @@ DeployedWeights DeployedWeights::fixed_point_image(
     d.base_.push_back(static_cast<float>(codec.decode(raw)));
   }
   return d;
+}
+
+const std::vector<std::int8_t>& DeployedWeights::int8_words() const {
+  FRLFI_CHECK_MSG(repr_ == Repr::Int8, "int8_words on a fixed-point image");
+  return int8_words_;
+}
+
+float DeployedWeights::int8_scale() const {
+  FRLFI_CHECK_MSG(repr_ == Repr::Int8, "int8_scale on a fixed-point image");
+  return int8_scale_;
+}
+
+QuantWeightView DeployedWeights::quant_view(const QuantOverlay* overlay) const {
+  FRLFI_CHECK_MSG(repr_ == Repr::Int8, "quant_view on a fixed-point image");
+  return QuantWeightView{int8_words_.data(), int8_words_.size(), int8_scale_,
+                         overlay};
+}
+
+InjectionReport DeployedWeights::inject_quant(const FaultSpec& spec, Rng& rng,
+                                              QuantOverlay& out) const {
+  FRLFI_CHECK_MSG(repr_ == Repr::Int8, "inject_quant on a fixed-point image");
+  out.clear();
+  InjectionReport report;
+  if (base_.empty()) return report;
+  // Byte-for-byte the stream inject() consumes on an int8 image: the same
+  // corrupt_bits dispatcher over a copy of the same clean words. Only the
+  // recording differs — the word itself, no dequantize.
+  std::vector<std::int8_t> words = int8_words_;
+  auto bytes = std::span<std::uint8_t>(
+      reinterpret_cast<std::uint8_t*>(words.data()), words.size());
+  report.bits_total = bit_count(bytes);
+  report.bits_flipped = corrupt_bits(bytes, spec, rng);
+  for (std::size_t i = 0; i < words.size(); ++i)
+    if (words[i] != int8_words_[i]) out.add(i, words[i]);
+  return report;
 }
 
 InjectionReport DeployedWeights::inject(const FaultSpec& spec, Rng& rng,

@@ -27,6 +27,27 @@ EpisodeStats greedy_episode(Network& policy, Environment& env, Rng& rng,
   return stats;
 }
 
+EpisodeStats greedy_episode_quant(Network& policy, Environment& env, Rng& rng,
+                                  std::size_t max_steps,
+                                  const QuantWeightView& qview) {
+  FRLFI_CHECK(max_steps >= 1);
+  EpisodeStats stats;
+  Tensor obs = env.reset(rng);
+  for (std::size_t t = 0; t < max_steps; ++t) {
+    const std::size_t action = policy.forward_quant(obs, qview).argmax();
+    StepResult r = env.step(action, rng);
+    stats.total_reward += r.reward;
+    ++stats.steps;
+    if (r.done) {
+      stats.success = r.success;
+      return stats;
+    }
+    obs = std::move(r.observation);
+  }
+  stats.success = false;
+  return stats;
+}
+
 namespace {
 
 /// Trans-1 strike plan for the lockstep runner: each lane's fault step
@@ -50,11 +71,17 @@ struct Trans1Strikes {
 /// the serial Trans-1 path consumes it). Keeping both paths on this one
 /// loop is what keeps their lockstep machinery — batch-buffer reuse,
 /// argmax rule, lane retirement — bit-aligned forever.
+///
+/// A non-null `base_qview` moves every forward — clean and striking — to
+/// the int8-native plane: clean lanes share forward_batch_quant over the
+/// base image, striking lanes ride per-lane QuantWeightViews whose word
+/// overlays come from trans1_strike_overlay_quant (the identical rng
+/// stream as the float strikes, recorded as words).
 std::vector<EpisodeStats> lockstep_episodes(
     Network& policy, const std::vector<Environment*>& envs,
     std::vector<Rng>& rngs, std::size_t max_steps,
     const RangeAnomalyDetector* activation_detector, ThreadPool* pool,
-    const Trans1Strikes* strikes) {
+    const Trans1Strikes* strikes, const QuantWeightView* base_qview) {
   const std::size_t lanes = envs.size();
   FRLFI_CHECK_MSG(lanes >= 1 && rngs.size() == lanes && max_steps >= 1,
                   "batched greedy: " << lanes << " envs, " << rngs.size()
@@ -97,6 +124,9 @@ std::vector<EpisodeStats> lockstep_episodes(
   std::vector<WeightOverlay> step_overlays;
   std::vector<WeightView> step_views;
   std::vector<const WeightView*> lane_views;
+  std::vector<QuantOverlay> step_qoverlays;
+  std::vector<QuantWeightView> step_qviews;
+  std::vector<const QuantWeightView*> lane_qviews;
   for (std::size_t t = 0; t < max_steps && !active.empty(); ++t) {
     const std::size_t nb = active.size();
     // The lane count only shrinks as episodes finish, so most steps reuse
@@ -115,7 +145,29 @@ std::vector<EpisodeStats> lockstep_episodes(
         ++striking;
     }
     Tensor logits;
-    if (striking > 0) {
+    if (striking > 0 && base_qview != nullptr) {
+      // Int8-native strikes: same per-lane draw order as the float branch
+      // below, with the corruption recorded as int8 words and the forward
+      // executing the struck image directly.
+      step_qoverlays.clear();
+      step_qviews.clear();
+      step_qoverlays.reserve(striking);
+      step_qviews.reserve(striking);
+      lane_qviews.assign(nb, nullptr);
+      for (std::size_t a = 0; a < nb; ++a) {
+        const std::size_t i = active[a];
+        if (strikes->fault_step[i] != t) continue;
+        step_qoverlays.emplace_back();
+        trans1_strike_overlay_quant(strikes->deployed, strikes->scenario,
+                                    rngs[i], step_qoverlays.back(),
+                                    strikes->base_hits);
+        step_qviews.push_back(
+            strikes->deployed.quant_view(&step_qoverlays.back()));
+        lane_qviews[a] = &step_qviews.back();
+      }
+      logits = policy.forward_batch_quant(batch, nb, *base_qview, pool,
+                                          lane_qviews);
+    } else if (striking > 0) {
       // Each striking lane draws its own corruption from its own stream
       // (exactly what the serial path consumes at this step) and rides a
       // private weight view; the other lanes share the clean forward.
@@ -134,6 +186,8 @@ std::vector<EpisodeStats> lockstep_episodes(
         lane_views[a] = &step_views.back();
       }
       logits = policy.forward_batch(batch, nb, pool, lane_views);
+    } else if (base_qview != nullptr) {
+      logits = policy.forward_batch_quant(batch, nb, *base_qview, pool);
     } else {
       logits = policy.forward_batch(batch, nb, pool);
     }
@@ -167,9 +221,10 @@ std::vector<EpisodeStats> lockstep_episodes(
 std::vector<EpisodeStats> greedy_episodes_batched(
     Network& policy, const std::vector<Environment*>& envs,
     std::vector<Rng>& rngs, std::size_t max_steps,
-    const RangeAnomalyDetector* activation_detector, ThreadPool* pool) {
+    const RangeAnomalyDetector* activation_detector, ThreadPool* pool,
+    const QuantWeightView* qview) {
   return lockstep_episodes(policy, envs, rngs, max_steps, activation_detector,
-                           pool, nullptr);
+                           pool, nullptr, qview);
 }
 
 namespace {
@@ -213,6 +268,18 @@ InjectionReport trans1_strike_overlay(
   return report;
 }
 
+InjectionReport trans1_strike_overlay_quant(
+    const DeployedWeights& deployed, const InferenceFaultScenario& scenario,
+    Rng& rng, QuantOverlay& out,
+    const std::vector<std::size_t>* base_hits) {
+  const InjectionReport report = deployed.inject_quant(scenario.spec, rng, out);
+  if (scenario.detector != nullptr)
+    scenario.detector->scan_and_suppress(
+        std::span<const float>(deployed.base()), deployed.int8_scale(), out,
+        base_hits);
+  return report;
+}
+
 std::vector<EpisodeStats> greedy_episodes_trans1_batched(
     Network& policy, const DeployedWeights& deployed,
     const InferenceFaultScenario& scenario,
@@ -240,10 +307,18 @@ std::vector<EpisodeStats> greedy_episodes_trans1_batched(
     }
     strikes.base_hits = base_hits;
   }
+  std::optional<QuantWeightView> base_qview;
+  if (scenario.mode == InferenceMode::Int8) {
+    FRLFI_CHECK_MSG(scenario.use_int8,
+                    "InferenceMode::Int8 requires an int8 deployment "
+                    "(scenario.use_int8)");
+    base_qview.emplace(deployed.quant_view(nullptr));
+  }
   // The scenario's detector screens the strike overlays (weight scan,
   // inside trans1_strike_overlay); activation screening does not apply.
   return lockstep_episodes(policy, envs, rngs, max_steps,
-                           /*activation_detector=*/nullptr, pool, &strikes);
+                           /*activation_detector=*/nullptr, pool, &strikes,
+                           base_qview ? &*base_qview : nullptr);
 }
 
 EpisodeStats greedy_episode_trans1(Network& policy, Environment& env, Rng& rng,
@@ -255,6 +330,41 @@ EpisodeStats greedy_episode_trans1(Network& policy, Environment& env, Rng& rng,
   // matching a fault arriving at a random wall-clock time.
   const std::size_t fault_step =
       static_cast<std::size_t>(rng.uniform_index(max_steps));
+
+  // Int8-native plane: the whole episode executes the deployed image
+  // directly, the strike riding a word overlay — the serial golden the
+  // batched quant runner reproduces bit-for-bit. Same rng order as the
+  // float branch (fault-step draw, reset, strike draw at the fault step).
+  if (scenario.mode == InferenceMode::Int8) {
+    FRLFI_CHECK_MSG(scenario.use_int8,
+                    "InferenceMode::Int8 requires an int8 deployment "
+                    "(scenario.use_int8)");
+    const DeployedWeights deployed = make_deployed_weights(policy, scenario);
+    const QuantWeightView base_view = deployed.quant_view(nullptr);
+    EpisodeStats stats;
+    Tensor obs = env.reset(rng);
+    for (std::size_t t = 0; t < max_steps; ++t) {
+      std::size_t action;
+      if (t == fault_step) {
+        QuantOverlay overlay;
+        trans1_strike_overlay_quant(deployed, scenario, rng, overlay);
+        const QuantWeightView struck = deployed.quant_view(&overlay);
+        action = policy.forward_quant(obs, struck).argmax();
+      } else {
+        action = policy.forward_quant(obs, base_view).argmax();
+      }
+      StepResult r = env.step(action, rng);
+      stats.total_reward += r.reward;
+      ++stats.steps;
+      if (r.done) {
+        stats.success = r.success;
+        return stats;
+      }
+      obs = std::move(r.observation);
+    }
+    stats.success = false;
+    return stats;
+  }
 
   EpisodeStats stats;
   Tensor obs = env.reset(rng);
@@ -320,6 +430,15 @@ std::vector<double> run_batched_inference_campaign(
       base_hits = spec.trans1->detector->base_out_of_range(
           std::span<const float>(deployed->base()));
   }
+  // Clean-trial int8 plane: deploy the policy once; every trial's batched
+  // forwards then execute this shared read-only image natively.
+  std::optional<DeployedWeights> clean_deployed;
+  std::optional<QuantWeightView> clean_qview;
+  if (spec.trans1 == nullptr && spec.mode == InferenceMode::Int8) {
+    clean_deployed.emplace(DeployedWeights::int8_image(
+        policy.flat_parameters(), spec.int8_headroom));
+    clean_qview.emplace(clean_deployed->quant_view(nullptr));
+  }
 
   // One worker lane: private environments (stateful), built once and
   // reused across the lane's whole trial range. Trial streams depend only
@@ -349,7 +468,9 @@ std::vector<double> run_batched_inference_campaign(
                                                /*pool=*/nullptr, &base_hits)
               : greedy_episodes_batched(lane_policy, lanes, rngs,
                                         spec.max_steps,
-                                        spec.activation_detector);
+                                        spec.activation_detector,
+                                        /*pool=*/nullptr,
+                                        clean_qview ? &*clean_qview : nullptr);
       for (std::size_t a = 0; a < spec.agents; ++a)
         metrics[t * spec.agents + a] = metric(a, *lanes[a], stats[a]);
     }

@@ -63,6 +63,26 @@ class Conv2D final : public Layer {
                                   const WeightView& view,
                                   std::size_t param_offset) override;
 
+  /// Int8-native forward: the input sample is requantized with one
+  /// symmetric scale, lowered through im2col_s8, and multiplied against
+  /// the deployed int8 weight words in int32 (tensor/gemm_s8.hpp); the
+  /// accumulator dequantizes through the scale product with the float
+  /// bias added last. Bit-identical to forward_batch_inner_quant of the
+  /// same sample at any width — padding words are exact zeros and integer
+  /// accumulation is order-free, so the im2col and direct-kernel forms
+  /// produce the same accumulators.
+  Tensor forward_quant(const Tensor& input, const QuantWeightView& qview,
+                       std::size_t param_offset) override;
+
+  /// Batch-inner int8-native forward with per-sample activation scales:
+  /// wide batches run a direct int8 batch-inner convolution (the integer
+  /// port of the float direct kernel), narrow ones gather per sample
+  /// through im2col_s8 — both exact, see forward_quant. Reentrant,
+  /// cache-free.
+  Tensor forward_batch_inner_quant(Tensor input, std::size_t batch,
+                                   const QuantWeightView& qview,
+                                   std::size_t param_offset) override;
+
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;

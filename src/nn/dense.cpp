@@ -5,7 +5,9 @@
 
 #include "core/error.hpp"
 #include "fault/overlay.hpp"
+#include "numeric/quantize.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_s8.hpp"
 
 namespace frlfi {
 
@@ -94,6 +96,55 @@ Tensor Dense::forward_batch_inner_view(Tensor input, std::size_t batch,
   const auto wb = view.weight_bias(param_offset, weight_.value.size(),
                                    bias_.value.size(), wbuf, bbuf);
   return batch_inner_with(std::move(input), batch, wb.weight, wb.bias);
+}
+
+Tensor Dense::forward_quant(const Tensor& input, const QuantWeightView& qview,
+                            std::size_t param_offset) {
+  // Width-1 batch-inner routing (the flat sample's layout is unchanged):
+  // one code path for single and batched keeps them bit-aligned by
+  // construction, and the integer kernels make the width immaterial.
+  std::vector<std::size_t> in_shape = input.shape();
+  in_shape.push_back(1);
+  Tensor y = forward_batch_inner_quant(input.reshaped(in_shape), 1, qview,
+                                       param_offset);
+  const std::vector<std::size_t> out_shape(y.shape().begin(),
+                                           y.shape().end() - 1);
+  return y.reshaped(out_shape);
+}
+
+Tensor Dense::forward_batch_inner_quant(Tensor input, std::size_t batch,
+                                        const QuantWeightView& qview,
+                                        std::size_t param_offset) {
+  FRLFI_CHECK_MSG(batch >= 1 && input.size() == batch * in_ &&
+                      input.dim(input.rank() - 1) == batch,
+                  label_ << ": bad batch-inner input " << input.shape_string()
+                         << " for batch " << batch);
+  thread_local std::vector<std::int8_t> wqbuf, bqbuf, xq;
+  thread_local std::vector<float> sx, bias_f;
+  thread_local std::vector<std::int32_t> acc;
+  const std::int8_t* wq = qview.span(param_offset, out_ * in_, wqbuf);
+  const std::int8_t* bq = qview.span(param_offset + out_ * in_, out_, bqbuf);
+  // The bias executes in float, dequantized from its deployed words with
+  // the image's scale — the exact value the float-shadow base holds.
+  bias_f.resize(out_);
+  for (std::size_t o = 0; o < out_; ++o)
+    bias_f[o] = static_cast<float>(bq[o]) * qview.scale;
+  sx.resize(batch);
+  xq.resize(in_ * batch);
+  acc.resize(out_ * batch);
+  const float* x = input.data().data();
+  activation_scales_inner(x, in_, batch, sx.data());
+  quantize_activations_inner(x, in_, batch, sx.data(), xq.data());
+  if (batch == 1) {
+    gemv_s8(wq, xq.data(), acc.data(), out_, in_);
+  } else {
+    // The (in, B) block IS the quantized Xᵀ operand — no repacking.
+    gemm_s8(wq, xq.data(), acc.data(), out_, in_, batch);
+  }
+  Tensor out({out_, batch});
+  dequantize_outputs_inner(acc.data(), out_, batch, bias_f.data(), 1,
+                           qview.scale, sx.data(), out.data().data());
+  return out;
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

@@ -43,6 +43,22 @@ class Dense final : public Layer {
                                   const WeightView& view,
                                   std::size_t param_offset) override;
 
+  /// Int8-native forward: y = bias_f + (Wq · xq) * (w_scale * x_scale)
+  /// with Wq read straight from the deployed words through `qview`, xq the
+  /// per-sample requantized input, and the product accumulated in int32
+  /// (tensor/gemm_s8.hpp). Bit-identical to forward_batch_inner_quant of
+  /// the same sample at any width (integer accumulation is exact);
+  /// matches the float-shadow forward_view within the quantization
+  /// tolerance of one activation rounding per input feature.
+  Tensor forward_quant(const Tensor& input, const QuantWeightView& qview,
+                       std::size_t param_offset) override;
+
+  /// Batch-inner int8-native forward with per-sample activation scales;
+  /// see forward_quant. Reentrant, cache-free.
+  Tensor forward_batch_inner_quant(Tensor input, std::size_t batch,
+                                   const QuantWeightView& qview,
+                                   std::size_t param_offset) override;
+
   std::vector<Parameter*> parameters() override { return {&weight_, &bias_}; }
   std::string name() const override;
   std::unique_ptr<Layer> clone() const override;

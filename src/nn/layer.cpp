@@ -69,6 +69,33 @@ Tensor Layer::forward_batch_inner_view(Tensor input, std::size_t batch,
   return forward_batch_inner(std::move(input), batch);
 }
 
+Tensor Layer::forward_quant(const Tensor& input, const QuantWeightView& qview,
+                            std::size_t param_offset) {
+  FRLFI_CHECK_MSG(parameters().empty(),
+                  name() << ": quant views need a forward_quant override");
+  // Width-1 batch-inner routing, exactly as forward_view's default: the
+  // sample's layout is unchanged and the batch-inner path is cache-free.
+  std::vector<std::size_t> in_shape = input.shape();
+  in_shape.push_back(1);
+  Tensor y = forward_batch_inner_quant(input.reshaped(in_shape), 1, qview,
+                                       param_offset);
+  const std::vector<std::size_t> out_shape(y.shape().begin(),
+                                           y.shape().end() - 1);
+  return y.reshaped(out_shape);
+}
+
+Tensor Layer::forward_batch_inner_quant(Tensor input, std::size_t batch,
+                                        const QuantWeightView& /*qview*/,
+                                        std::size_t /*param_offset*/) {
+  FRLFI_CHECK_MSG(
+      parameters().empty(),
+      name() << ": quant views need a forward_batch_inner_quant override");
+  // Parameterless layers run their float batch-inner kernel unchanged: the
+  // quant plane only moves the parameterized layers' inner products into
+  // the integer domain. Same cache-free precondition as the view default.
+  return forward_batch_inner(std::move(input), batch);
+}
+
 namespace {
 
 // (rows x cols) -> (cols x rows) transpose. The interior runs on 4x4

@@ -31,6 +31,9 @@ namespace frlfi {
 // parameter vector plus a sparse per-lane corruption overlay. The forward
 // plane only ever holds a pointer to it, so a declaration suffices here.
 struct WeightView;
+// Its int8-native twin: clean deployed words + sparse word overlay + the
+// image's dequantization scale (see fault/overlay.hpp).
+struct QuantWeightView;
 
 /// Batch width at which the batch-inner layers switch from the per-sample
 /// gather kernels to the wide B-stride SIMD kernels (Conv2D's direct
@@ -120,6 +123,33 @@ class Layer {
   virtual Tensor forward_batch_inner_view(Tensor input, std::size_t batch,
                                           const WeightView& view,
                                           std::size_t param_offset);
+
+  /// Quantized (int8-native) forward: parameterized layers execute the
+  /// deployed int8 words read through `qview` — int8 weights x
+  /// int8-requantized activations in int32 accumulators, dequantized
+  /// through the scale product (numeric/quantize.hpp) — instead of the
+  /// float shadow. Float tensors still flow between layers; only the
+  /// parameterized layers' inner products run in the integer domain, so
+  /// parameterless layers (ReLU, Flatten) inherit the default, which
+  /// routes through the cache-free batch-inner path. Same cache and
+  /// reentrancy rules as forward_view. Within one numeric plane the path
+  /// is exact: integer accumulation is associative, so single, batched,
+  /// and sharded quant forwards agree bit-for-bit at every width — the
+  /// float-shadow path remains the golden reference within the documented
+  /// per-layer quantization tolerance.
+  virtual Tensor forward_quant(const Tensor& input,
+                               const QuantWeightView& qview,
+                               std::size_t param_offset);
+
+  /// Batch-innermost quantized forward: forward_batch_inner_view's
+  /// layout, thread-safety and cache contract on the int8-native plane.
+  /// Activation scales are derived per *sample* (column), so the result
+  /// is bit-identical to forward_quant of each sample at every batch
+  /// width — no wide-kernel threshold exists in the quant numeric
+  /// contract.
+  virtual Tensor forward_batch_inner_quant(Tensor input, std::size_t batch,
+                                           const QuantWeightView& qview,
+                                           std::size_t param_offset);
 
   /// Trainable parameters (possibly empty). Pointers remain valid for the
   /// lifetime of the layer.

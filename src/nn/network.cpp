@@ -64,62 +64,38 @@ std::size_t batch_shard_count(std::size_t batch, std::size_t lanes) {
   return std::min(lanes, max_shards);
 }
 
-Tensor Network::forward_batch(const Tensor& input, std::size_t batch,
-                              ThreadPool* pool,
-                              std::span<const WeightView* const> lane_views) {
-  FRLFI_CHECK_MSG(!layers_.empty(), "forward_batch on empty network");
-  FRLFI_CHECK_MSG(batch >= 1 && input.dim(0) == batch,
-                  "bad batch input " << input.shape_string());
-  bool any_view = false;
-  if (!lane_views.empty()) {
-    FRLFI_CHECK_MSG(lane_views.size() == batch,
-                    "lane_views " << lane_views.size() << " for batch "
-                                  << batch);
-    for (const WeightView* v : lane_views) {
-      if (v == nullptr) continue;
-      FRLFI_CHECK_MSG(v->params == param_total_,
-                      "view holds " << v->params << " params, network "
-                                    << param_total_);
-      any_view = true;
-    }
-  }
-  const std::size_t lanes = pool ? pool->size() : 1;
-  if (!any_view) {
-    const std::size_t shards = batch_shard_count(batch, lanes);
-    if (shards <= 1) {
-      // One transpose into batch-innermost layout, the whole stack on the
-      // fast batch-inner kernels, one transpose back.
-      Tensor x = batch_to_inner(input, batch);
-      for (std::size_t i = 0; i < layers_.size(); ++i) {
-        x = layers_[i]->forward_batch_inner(std::move(x), batch);
-        if (activation_hook_) activation_hook_(i, x);
-      }
-      return batch_to_major(x, batch);
-    }
-  }
-  // Row-range tasks: contiguous runs of rows sharing one weight view
-  // (without views: the whole batch), each run split by the same
-  // width-preserving shard planner as before. Each task takes a
-  // contiguous slice of batch-major rows, transposes it to batch-inner,
-  // runs the whole stack on its own tensors (per-task workspace — nothing
-  // below is shared but the read-only weights/views and the hook), and
-  // transposes back. Task outputs are stitched afterwards so no lane
-  // writes into a shared buffer.
+namespace {
+
+// Row-range task engine shared by the float and quantized batched
+// forwards: contiguous runs of rows sharing one view pointer (empty
+// lane_views: the whole batch, effective view ViewPtr{}), each run split
+// by the same width-preserving shard planner. Each task takes a
+// contiguous slice of batch-major rows, transposes it to batch-inner,
+// runs `run_stack(x, nb, view)` — the plane-specific layer loop — on its
+// own tensors (per-task workspace; nothing below is shared but the
+// read-only weights/views and the hook), and transposes back. Task
+// outputs are stitched afterwards so no lane writes into a shared buffer.
+template <typename ViewPtr, typename RunStack>
+Tensor run_row_tasks(const Tensor& input, std::size_t batch,
+                     std::size_t lanes, ThreadPool* pool,
+                     std::span<const ViewPtr> lane_views,
+                     RunStack&& run_stack) {
   struct RowTask {
     std::size_t b0, b1;
-    const WeightView* view;
+    ViewPtr view;
   };
+  const bool grouped = !lane_views.empty();
   std::vector<RowTask> tasks;
   std::size_t run0 = 0;
   for (std::size_t b = 1; b <= batch; ++b) {
-    if (b < batch && (!any_view || lane_views[b] == lane_views[run0])) continue;
+    if (b < batch && (!grouped || lane_views[b] == lane_views[run0])) continue;
     const std::size_t run = b - run0;
     const std::size_t shards = batch_shard_count(run, lanes);
     for (std::size_t s = 0; s < shards; ++s) {
       std::size_t r0, r1;
       shard_range(run, shards, s, r0, r1);
       tasks.push_back(
-          {run0 + r0, run0 + r1, any_view ? lane_views[run0] : nullptr});
+          {run0 + r0, run0 + r1, grouped ? lane_views[run0] : ViewPtr{}});
     }
     run0 = b;
   }
@@ -138,15 +114,7 @@ Tensor Network::forward_batch(const Tensor& input, std::size_t batch,
       std::copy_n(
           input.data().begin() + static_cast<std::ptrdiff_t>(task.b0 * sample),
           nb * sample, sub.data().begin());
-      Tensor x = batch_to_inner(sub, nb);
-      for (std::size_t i = 0; i < layers_.size(); ++i) {
-        x = task.view != nullptr
-                ? layers_[i]->forward_batch_inner_view(std::move(x), nb,
-                                                       *task.view,
-                                                       layer_offsets_[i])
-                : layers_[i]->forward_batch_inner(std::move(x), nb);
-        if (activation_hook_) activation_hook_(i, x);
-      }
+      Tensor x = run_stack(batch_to_inner(sub, nb), nb, task.view);
       task_out[t] = batch_to_major(x, nb);
     }
   };
@@ -167,6 +135,116 @@ Tensor Network::forward_batch(const Tensor& input, std::size_t batch,
     row += part.dim(0);
   }
   return out;
+}
+
+}  // namespace
+
+Tensor Network::forward_batch(const Tensor& input, std::size_t batch,
+                              ThreadPool* pool,
+                              std::span<const WeightView* const> lane_views) {
+  FRLFI_CHECK_MSG(!layers_.empty(), "forward_batch on empty network");
+  FRLFI_CHECK_MSG(batch >= 1 && input.dim(0) == batch,
+                  "bad batch input " << input.shape_string());
+  bool any_view = false;
+  if (!lane_views.empty()) {
+    FRLFI_CHECK_MSG(lane_views.size() == batch,
+                    "lane_views " << lane_views.size() << " for batch "
+                                  << batch);
+    for (const WeightView* v : lane_views) {
+      if (v == nullptr) continue;
+      FRLFI_CHECK_MSG(v->params == param_total_,
+                      "view holds " << v->params << " params, network "
+                                    << param_total_);
+      any_view = true;
+    }
+  }
+  const std::size_t lanes = pool ? pool->size() : 1;
+  if (!any_view && batch_shard_count(batch, lanes) <= 1) {
+    // One transpose into batch-innermost layout, the whole stack on the
+    // fast batch-inner kernels, one transpose back.
+    Tensor x = batch_to_inner(input, batch);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      x = layers_[i]->forward_batch_inner(std::move(x), batch);
+      if (activation_hook_) activation_hook_(i, x);
+    }
+    return batch_to_major(x, batch);
+  }
+  return run_row_tasks(
+      input, batch, lanes, pool,
+      any_view ? lane_views : std::span<const WeightView* const>{},
+      [&](Tensor x, std::size_t nb, const WeightView* view) {
+        for (std::size_t i = 0; i < layers_.size(); ++i) {
+          x = view != nullptr
+                  ? layers_[i]->forward_batch_inner_view(std::move(x), nb,
+                                                         *view,
+                                                         layer_offsets_[i])
+                  : layers_[i]->forward_batch_inner(std::move(x), nb);
+          if (activation_hook_) activation_hook_(i, x);
+        }
+        return x;
+      });
+}
+
+Tensor Network::forward_quant(const Tensor& input,
+                              const QuantWeightView& qview) {
+  FRLFI_CHECK_MSG(!layers_.empty(), "forward_quant on empty network");
+  FRLFI_CHECK_MSG(qview.params == param_total_,
+                  "quant view holds " << qview.params << " params, network "
+                                      << param_total_);
+  Tensor x = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    x = layers_[i]->forward_quant(x, qview, layer_offsets_[i]);
+    if (activation_hook_) activation_hook_(i, x);
+  }
+  return x;
+}
+
+Tensor Network::forward_batch_quant(
+    const Tensor& input, std::size_t batch, const QuantWeightView& qview,
+    ThreadPool* pool, std::span<const QuantWeightView* const> lane_views) {
+  FRLFI_CHECK_MSG(!layers_.empty(), "forward_batch_quant on empty network");
+  FRLFI_CHECK_MSG(batch >= 1 && input.dim(0) == batch,
+                  "bad batch input " << input.shape_string());
+  FRLFI_CHECK_MSG(qview.params == param_total_,
+                  "quant view holds " << qview.params << " params, network "
+                                      << param_total_);
+  bool any_override = false;
+  if (!lane_views.empty()) {
+    FRLFI_CHECK_MSG(lane_views.size() == batch,
+                    "lane_views " << lane_views.size() << " for batch "
+                                  << batch);
+    for (const QuantWeightView* v : lane_views) {
+      if (v == nullptr) continue;
+      FRLFI_CHECK_MSG(v->params == param_total_,
+                      "quant view holds " << v->params << " params, network "
+                                          << param_total_);
+      any_override = true;
+    }
+  }
+  const std::size_t lanes = pool ? pool->size() : 1;
+  if (!any_override && batch_shard_count(batch, lanes) <= 1) {
+    Tensor x = batch_to_inner(input, batch);
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      x = layers_[i]->forward_batch_inner_quant(std::move(x), batch, qview,
+                                                layer_offsets_[i]);
+      if (activation_hook_) activation_hook_(i, x);
+    }
+    return batch_to_major(x, batch);
+  }
+  return run_row_tasks(
+      input, batch, lanes, pool,
+      any_override ? lane_views : std::span<const QuantWeightView* const>{},
+      [&](Tensor x, std::size_t nb, const QuantWeightView* view) {
+        // A null lane entry means "the shared base image": unlike the
+        // float plane there is no own-weights fallback on this plane.
+        const QuantWeightView& qv = view != nullptr ? *view : qview;
+        for (std::size_t i = 0; i < layers_.size(); ++i) {
+          x = layers_[i]->forward_batch_inner_quant(std::move(x), nb, qv,
+                                                    layer_offsets_[i]);
+          if (activation_hook_) activation_hook_(i, x);
+        }
+        return x;
+      });
 }
 
 Tensor Network::backward(const Tensor& grad_output) {

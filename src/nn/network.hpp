@@ -18,7 +18,16 @@
 namespace frlfi {
 
 class ThreadPool;
-struct WeightView;  // fault/overlay.hpp (see layer.hpp)
+struct WeightView;       // fault/overlay.hpp (see layer.hpp)
+struct QuantWeightView;  // fault/overlay.hpp (see layer.hpp)
+
+/// Numeric plane an inference forward executes on. Float32 — the default
+/// and the golden reference — runs the dequantized shadow of the deployed
+/// weights; Int8 opts into the quantized plane: the deployed int8 words
+/// themselves, multiplied against int8-requantized activations in int32
+/// accumulators (Layer::forward_quant), locked against the float path
+/// within the per-layer quantization tolerance by tests.
+enum class InferenceMode { Float32, Int8 };
 
 /// A stack of layers executed in order. Movable, deep-clonable.
 class Network {
@@ -106,6 +115,30 @@ class Network {
                        ThreadPool* pool = nullptr,
                        std::span<const WeightView* const> lane_views = {});
 
+  /// Int8-native forward (InferenceMode::Int8): every parameterized layer
+  /// executes the deployed int8 words read through `qview` — weights ×
+  /// requantized activations in int32, per-layer scale products — instead
+  /// of its float tensors (Layer::forward_quant). The view's length must
+  /// equal parameter_count(). Bit-identical to forward_batch_quant of the
+  /// same sample at any width; matches the float forward over
+  /// qview-as-float-view within the quantization tolerance.
+  Tensor forward_quant(const Tensor& input, const QuantWeightView& qview);
+
+  /// Batched int8-native forward: forward_batch's layout, sharding and
+  /// lane-view semantics on the quantized plane. `qview` is the shared
+  /// base image every row reads; `lane_views` (empty, or one entry per
+  /// row) overrides it per lane — row b reads *lane_views[b] when
+  /// non-null, else `qview` — so one batched forward serves N quantized
+  /// lanes with N different corrupted word sets (batched Trans-1 on the
+  /// int8 plane). Unlike the float plane there is no width threshold in
+  /// the numeric contract: per-sample activation scales and exact integer
+  /// accumulation make every batch width, shard split, and thread count
+  /// produce identical bits to forward_quant per row.
+  Tensor forward_batch_quant(
+      const Tensor& input, std::size_t batch, const QuantWeightView& qview,
+      ThreadPool* pool = nullptr,
+      std::span<const QuantWeightView* const> lane_views = {});
+
   /// Run backward from dLoss/dOutput; accumulates parameter gradients and
   /// returns dLoss/dInput.
   Tensor backward(const Tensor& grad_output);
@@ -164,5 +197,16 @@ class Network {
 /// below it only splits into per-sample work the gather kernels already do
 /// sample-by-sample — so sharding can never change a bit.
 std::size_t batch_shard_count(std::size_t batch, std::size_t lanes);
+
+/// Measured shard-planner anchor: BENCH_kernels.json's sharded_inference
+/// section shows that sharding a B=16 drone-policy forward across 2
+/// threads is a net *loss* (oversubscription aside — the split itself
+/// doesn't pay for its dispatch at that width). batch_shard_count has no
+/// cost model and splits on width alone; these constants record the
+/// measured break-even point so the future cost-model pass has a concrete
+/// anchor, and latency-sensitive callers can keep batches at or below
+/// kShardNetLossBatch unsharded.
+inline constexpr std::size_t kShardNetLossBatch = 16;
+inline constexpr std::size_t kShardNetLossThreads = 2;
 
 }  // namespace frlfi

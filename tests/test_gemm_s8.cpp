@@ -1,0 +1,91 @@
+/// \file test_gemm_s8.cpp
+/// Int8 kernel golden lock: the dispatched gemv_s8 / gemm_s8 (SIMD via the
+/// runtime-clone machinery where available) must equal their scalar
+/// reference implementations BIT-exactly for every shape — int32
+/// accumulation is exact, so reassociation cannot change a single bit
+/// (the justification of the R4 lint waivers in tensor/gemm_s8.cpp).
+
+#include "tensor/gemm_s8.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace frlfi {
+namespace {
+
+// Full-range words including -128 — the corruption-only value the clean
+// quantizer never emits but the kernels must still handle exactly.
+std::vector<std::int8_t> random_words(Rng& rng, std::size_t n) {
+  std::vector<std::int8_t> v(n);
+  for (auto& w : v)
+    w = static_cast<std::int8_t>(static_cast<int>(rng.uniform_index(256)) -
+                                 128);
+  return v;
+}
+
+TEST(GemmS8, GemvMatchesReferenceBitExact) {
+  Rng rng(123);
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1}, {3, 5}, {25, 32}, {32, 48}, {17, 129}};
+  for (const auto& [m, n] : shapes) {
+    const auto w = random_words(rng, m * n);
+    const auto x = random_words(rng, n);
+    std::vector<std::int32_t> y(m, -1), yr(m, -2);
+    gemv_s8(w.data(), x.data(), y.data(), m, n);
+    gemv_s8_ref(w.data(), x.data(), yr.data(), m, n);
+    EXPECT_EQ(y, yr) << m << "x" << n;
+  }
+}
+
+TEST(GemmS8, GemmMatchesReferenceBitExact) {
+  Rng rng(321);
+  // n spans the packed narrow path (< 16 columns) and the wide saxpy path,
+  // at the paper policies' k values (48 = drone FC1) and beyond.
+  const std::tuple<std::size_t, std::size_t, std::size_t> shapes[] = {
+      {1, 1, 1},  {4, 6, 3},   {16, 48, 7},
+      {25, 48, 8}, {12, 54, 16}, {6, 16, 33}};
+  for (const auto& [m, k, n] : shapes) {
+    const auto a = random_words(rng, m * k);
+    const auto b = random_words(rng, k * n);
+    std::vector<std::int32_t> c(m * n, -1), cr(m * n, -2);
+    gemm_s8(a.data(), b.data(), c.data(), m, k, n);
+    gemm_s8_ref(a.data(), b.data(), cr.data(), m, k, n);
+    EXPECT_EQ(c, cr) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(GemmS8, GemmWidth1MatchesGemv) {
+  // A one-column GEMM and a gemv over the same data are the same
+  // reduction in exact integer arithmetic — no width tolerance anywhere.
+  Rng rng(7);
+  const std::size_t m = 25, k = 48;
+  const auto w = random_words(rng, m * k);
+  const auto x = random_words(rng, k);
+  std::vector<std::int32_t> yv(m), yg(m);
+  gemv_s8(w.data(), x.data(), yv.data(), m, k);
+  gemm_s8(w.data(), x.data(), yg.data(), m, k, 1);
+  EXPECT_EQ(yv, yg);
+}
+
+TEST(GemmS8, FullScaleCorruptionWordStaysExact) {
+  // Worst-case magnitude: every operand word -128 (bit-7 corruption), so
+  // every product is +16384 and the accumulator reaches k * 16384 — far
+  // inside int32, per the overflow contract in gemm_s8.hpp.
+  const std::size_t m = 4, k = 32, n = 9;
+  const std::vector<std::int8_t> a(m * k, -128), b(k * n, -128);
+  std::vector<std::int32_t> c(m * n), cr(m * n);
+  gemm_s8(a.data(), b.data(), c.data(), m, k, n);
+  gemm_s8_ref(a.data(), b.data(), cr.data(), m, k, n);
+  EXPECT_EQ(c, cr);
+  for (const std::int32_t v : c)
+    EXPECT_EQ(v, static_cast<std::int32_t>(k) * 16384);
+}
+
+}  // namespace
+}  // namespace frlfi

@@ -70,6 +70,85 @@ TEST(Int8RoundTrip, ErrorBoundedByScale) {
     EXPECT_NEAR(back[i], data[i], step);
 }
 
+// ---- Clamp-asymmetry contract (documented on Int8Quantizer): the fault
+// injectors and the int8 kernels' overflow analysis rely on these. ----
+
+TEST(Int8QuantizerContract, CleanImageNeverContainsMinusFullScale) {
+  // The clamp floor is -127, not -128: no input — in range, at the
+  // calibrated extreme, or arbitrarily far beyond it — quantizes to the
+  // word -128. Only a bit flip on a deployed word can produce it.
+  std::vector<float> data;
+  for (int i = 0; i < 1000; ++i)
+    data.push_back(std::sin(static_cast<float>(i) * 0.7f) * 3.0f);
+  const Int8Quantizer q = Int8Quantizer::calibrate(data);
+  for (float v : data) {
+    const std::int8_t w = q.quantize(v);
+    EXPECT_GE(w, -127);
+    EXPECT_LE(w, 127);
+  }
+  EXPECT_EQ(q.quantize(-3.0f), -127);
+  EXPECT_EQ(q.quantize(-1e30f), -127);
+  EXPECT_EQ(q.quantize(-std::numeric_limits<float>::infinity()), -127);
+}
+
+TEST(Int8QuantizerContract, AllZeroCalibrationUsesEpsilonFloorScale) {
+  // An all-zero tensor calibrates to exactly the documented epsilon floor
+  // (1e-8 mapped to 127), and the activation-plane calibration shares the
+  // identical expression — so an all-zero layer input quantizes to
+  // all-zero words with a valid positive scale on both planes.
+  const std::vector<float> zeros(16, 0.0f);
+  const Int8Quantizer q = Int8Quantizer::calibrate(zeros);
+  EXPECT_FLOAT_EQ(q.scale(), 1e-8f / 127.0f);
+  EXPECT_FLOAT_EQ(activation_scale(std::span<const float>(zeros)), q.scale());
+}
+
+TEST(Int8QuantizerContract, SaturatesExactlyAtCalibratedMax) {
+  // ±max|x| maps to exactly ±127, and anything beyond clamps to the same
+  // words — saturation, never wraparound.
+  const std::vector<float> data{0.25f, -1.75f, 0.5f};
+  const Int8Quantizer q = Int8Quantizer::calibrate(data);
+  EXPECT_EQ(q.quantize(1.75f), 127);
+  EXPECT_EQ(q.quantize(-1.75f), -127);
+  EXPECT_EQ(q.quantize(17.5f), 127);
+  EXPECT_EQ(q.quantize(-17.5f), -127);
+}
+
+TEST(Int8QuantizerContract, TiesRoundAwayFromZero) {
+  // std::round semantics, pinned so every requantization path (weights at
+  // deployment, activations per layer) lands ties on the same word.
+  const Int8Quantizer q(1.0f);
+  EXPECT_EQ(q.quantize(0.5f), 1);
+  EXPECT_EQ(q.quantize(-0.5f), -1);
+  EXPECT_EQ(q.quantize(1.5f), 2);
+  EXPECT_EQ(q.quantize(-2.5f), -3);
+}
+
+TEST(ActivationRequant, InnerHelpersMatchPerSampleScalar) {
+  // activation_scales_inner / quantize_activations_inner over a
+  // batch-inner (features, B) block must equal per-sample
+  // activation_scale + quantize_activations of each gathered column —
+  // the property that makes batched quant forwards width-invariant.
+  const std::size_t features = 7, batch = 5;
+  std::vector<float> x(features * batch);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = std::sin(static_cast<float>(i) * 1.3f) * 2.5f;
+  std::vector<float> scales(batch);
+  std::vector<std::int8_t> words(features * batch);
+  activation_scales_inner(x.data(), features, batch, scales.data());
+  quantize_activations_inner(x.data(), features, batch, scales.data(),
+                             words.data());
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<float> col(features);
+    for (std::size_t f = 0; f < features; ++f) col[f] = x[f * batch + b];
+    const float s = activation_scale(col);
+    EXPECT_EQ(scales[b], s);
+    std::vector<std::int8_t> colq(features);
+    quantize_activations(col, s, colq.data());
+    for (std::size_t f = 0; f < features; ++f)
+      EXPECT_EQ(words[f * batch + b], colq[f]);
+  }
+}
+
 /// Property: round-trip error is at most scale/2 for any magnitude scale.
 class QuantizeScaleProperty : public ::testing::TestWithParam<float> {};
 
