@@ -32,6 +32,12 @@
 ///    protocol, with three bit-identity gates (degenerate burst config ==
 ///    i.i.d. channel including RNG stream position, zero-retry protocol
 ///    round == plain round, burst length-1 injector == single-bit golden),
+///  * fleet rounds: the round engine at n_agents in {64, 512, 4096} with
+///    the fleet server path armed (parallel per-(seq, row) channel,
+///    pool-parallel aggregation, participant-compacted round storage,
+///    cadence ~10% participation) — rounds/sec, bytes/round, and two
+///    exit-code gates: server_threads {1, 2, 7} bit-identical, and round
+///    buffers scaling with participants rather than the fleet roster,
 ///  * run_campaign trials/sec: serial vs parallel lanes on a synthetic
 ///    1000-trial campaign, with a bit-identity check on the stats.
 ///
@@ -46,6 +52,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +60,7 @@
 #include "core/parallel.hpp"
 #include "fault/injector.hpp"
 #include "fault/overlay.hpp"
+#include "federated/round_engine.hpp"
 #include "federated/server.hpp"
 #include "frl/gridworld_system.hpp"
 #include "frl/policies.hpp"
@@ -146,6 +154,13 @@ struct ChannelRow {
   double iid_us = 0.0, bursty_us = 0.0, reliable_us = 0.0;
   bool identical = false;  // degenerate Gilbert-Elliott == i.i.d. rows
 };
+struct FleetRow {
+  std::size_t agents = 0, dim = 0;
+  double rounds_per_s = 0.0, bytes_per_round = 0.0;
+  std::size_t round_buffer_bytes = 0, full_matrix_bytes = 0;
+  bool mem_ok = false;     // round buffers < full-fleet matrix / 4
+  bool identical = false;  // server_threads 1 == 2 == 7, seq+stats included
+};
 struct Report {
   bool quick = false;
   std::vector<ConvRow> conv_forward;
@@ -163,6 +178,7 @@ struct Report {
   std::vector<ChannelRow> channel;
   bool channel_zero_retry_identical = false;  // zero-retry round == plain
   bool channel_burst1_identical = false;      // burst-1 == single-bit golden
+  std::vector<FleetRow> fleet;
   CampaignRow campaign;
 };
 
@@ -395,6 +411,16 @@ bool bench_sharded(double min_time, Report& report) {
     double t_one_thread = 0.0;
     for (const std::size_t threads :
          {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      // The planner's cost model may decline the split entirely (each
+      // shard must carry >= kBatchShardMinPerShard rows); a declined
+      // config runs the unsharded path verbatim, so measuring it again
+      // under a pool would just re-time the 1-thread row.
+      const std::size_t shards = batch_shard_count(batch, threads);
+      if (threads > 1 && shards <= 1) {
+        std::printf("%-8zu %8zu %8s %14s %10s %14s\n", batch, threads,
+                    "--", "(declined)", "", "");
+        continue;
+      }
       ThreadPool pool(threads);
       const double t = time_per_call(
           min_time, [&] { net.forward_batch(xb, batch, &pool); });
@@ -405,12 +431,10 @@ bool bench_sharded(double min_time, Report& report) {
         identical = sharded[i] == serial[i];
       all_identical = all_identical && identical;
       const double speedup = t_one_thread / t;
-      report.sharded.push_back({batch, threads,
-                                batch_shard_count(batch, threads), t * 1e6,
-                                speedup, identical});
+      report.sharded.push_back({batch, threads, shards, t * 1e6, speedup,
+                                identical});
       std::printf("%-8zu %8zu %8zu %14.2f %9.2fx %14s\n", batch, threads,
-                  batch_shard_count(batch, threads), t * 1e6, speedup,
-                  identical ? "YES" : "NO  <-- BUG");
+                  shards, t * 1e6, speedup, identical ? "YES" : "NO  <-- BUG");
     }
   }
   if (std::thread::hardware_concurrency() <= 1)
@@ -902,6 +926,152 @@ bool bench_channel_reliability(double min_time, Report& report) {
          report.channel_burst1_identical;
 }
 
+// Fleet-scale federated rounds: the round engine at n_agents up to 4096
+// with the fleet server path armed (Config::server_threads >= 1) — bursty
+// channel, ~10% participation via cadence, dropout + a Byzantine sender +
+// the L2 screen, all over cheap synthetic agent hooks so the round cost
+// dominates. Two gates feed the exit code: the parallel server round must
+// be bit-identical to the 1-lane fleet serial golden path (final
+// parameters, channel seq, cost counters and participation stats), and
+// the retained round buffers must scale with the round's participants,
+// not the fleet roster (< full-fleet matrix / 4 at 10% participation).
+bool bench_fleet_round(bool quick, Report& report) {
+  std::printf(
+      "\n== Fleet rounds: engine throughput and memory vs n_agents ==\n");
+  std::printf(
+      "(dim 256, stormy bursty channel, cadence 10 ~= 10%% participation, "
+      "L2 screen)\n");
+  std::printf("%-8s %8s %12s %14s %12s %12s %8s %14s\n", "agents", "dim",
+              "rounds/s", "bytes/round", "buffer B", "full B", "mem",
+              "bit-identical");
+
+  const std::size_t dim = 256;
+  const std::size_t rounds = quick ? 4 : 10;
+  BurstyChannelConfig stormy;
+  stormy.active = true;
+  stormy.ber_good = 1e-4;
+  stormy.ber_bad = 0.05;
+  stormy.p_good_to_bad = 0.2;
+  stormy.p_bad_to_good = 0.25;
+  stormy.erasure_rate = 0.05;
+  stormy.reorder_rate = 0.1;
+  stormy.chunk_elems = 16;
+
+  // Synthetic fleet member: flat per-agent parameter rows; the "episode"
+  // nudges one coordinate deterministically so rounds aggregate changing
+  // data at zero NN cost.
+  struct Harness {
+    std::size_t n, dim;
+    std::vector<float> params;
+    Harness(std::size_t n_agents, std::size_t param_dim)
+        : n(n_agents), dim(param_dim), params(n_agents * param_dim) {
+      Rng wrng(91);
+      for (auto& v : params) v = static_cast<float>(wrng.uniform(-0.5, 0.5));
+    }
+    FederatedRoundEngine::Hooks hooks() {
+      FederatedRoundEngine::Hooks h;
+      h.run_episode = [this](std::size_t agent, std::size_t episode, Rng&) {
+        params[agent * dim] += 1e-3f * static_cast<float>((agent + episode) % 7);
+        return 0.0;
+      };
+      h.gather_params = [this](std::size_t agent, std::span<float> out) {
+        std::copy(params.begin() + static_cast<std::ptrdiff_t>(agent * dim),
+                  params.begin() + static_cast<std::ptrdiff_t>((agent + 1) * dim),
+                  out.begin());
+      };
+      h.scatter_params = [this](std::size_t agent, std::span<const float> p) {
+        std::copy(p.begin(), p.end(),
+                  params.begin() + static_cast<std::ptrdiff_t>(agent * dim));
+      };
+      h.inject_agent = [](std::size_t, const FaultSpec&, Rng&) {};
+      return h;
+    }
+  };
+
+  const auto run_fleet = [&](std::size_t agents, std::size_t server_threads,
+                             Harness& harness,
+                             std::unique_ptr<FederatedRoundEngine>& out) {
+    FederatedRoundEngine::Config cfg;
+    cfg.n_agents = agents;
+    cfg.parameter_dim = dim;
+    cfg.comm_interval = 1;
+    cfg.bursty_channel = stormy;
+    cfg.server_threads = server_threads;
+    out = std::make_unique<FederatedRoundEngine>(cfg, 2024, 0xF1EE7,
+                                                 harness.hooks());
+    ParticipationPlan plan;
+    plan.active = true;
+    plan.cadence = 10;
+    plan.dropout_rate = 0.01;
+    plan.straggler_rate = 0.05;
+    plan.byzantine_agents = {1};
+    plan.screening.l2_norm = true;
+    plan.screening.l2_factor = 3.0;
+    out->set_participation_plan(plan);
+    const auto t0 = Clock::now();
+    out->train(rounds);
+    return seconds_since(t0);
+  };
+
+  const auto stats_equal = [](const ParticipationStats& a,
+                              const ParticipationStats& b) {
+    return a.rounds == b.rounds && a.present == b.present &&
+           a.dropped == b.dropped && a.stragglers == b.stragglers &&
+           a.byzantine == b.byzantine && a.stale_folded == b.stale_folded &&
+           a.stale_discarded == b.stale_discarded &&
+           a.screened_out == b.screened_out &&
+           a.upload_attempts == b.upload_attempts &&
+           a.uploads_failed == b.uploads_failed;
+  };
+
+  bool all_ok = true;
+  for (const std::size_t agents :
+       {std::size_t{64}, std::size_t{512}, std::size_t{4096}}) {
+    // Golden 1-lane fleet serial run (also the timed row: the container
+    // may be single-core, so the serial fleet round IS the honest
+    // throughput number).
+    Harness h1(agents, dim);
+    std::unique_ptr<FederatedRoundEngine> e1;
+    const double dt = run_fleet(agents, 1, h1, e1);
+
+    bool identical = true;
+    for (const std::size_t lanes : {std::size_t{2}, std::size_t{7}}) {
+      Harness hn(agents, dim);
+      std::unique_ptr<FederatedRoundEngine> en;
+      run_fleet(agents, lanes, hn, en);
+      identical = identical && hn.params == h1.params &&
+                  en->server()->channel().transmit_seq() ==
+                      e1->server()->channel().transmit_seq() &&
+                  en->server()->channel().bytes_sent() ==
+                      e1->server()->channel().bytes_sent() &&
+                  en->server()->channel().bits_corrupted() ==
+                      e1->server()->channel().bits_corrupted() &&
+                  stats_equal(en->participation_stats(),
+                              e1->participation_stats());
+    }
+    all_ok = all_ok && identical;
+
+    const std::size_t buffer_bytes = e1->round_buffer_bytes();
+    const std::size_t full_bytes = agents * dim * sizeof(float);
+    const bool mem_ok = buffer_bytes < full_bytes / 4;
+    all_ok = all_ok && mem_ok;
+    const double rps = static_cast<double>(rounds) / dt;
+    const double bpr = static_cast<double>(e1->communication_bytes()) /
+                       static_cast<double>(rounds);
+    report.fleet.push_back({agents, dim, rps, bpr, buffer_bytes, full_bytes,
+                            mem_ok, identical});
+    std::printf("%-8zu %8zu %12.1f %14.0f %12zu %12zu %8s %14s\n", agents,
+                dim, rps, bpr, buffer_bytes, full_bytes,
+                mem_ok ? "OK" : "FAT", identical ? "YES" : "NO  <-- BUG");
+  }
+  if (std::thread::hardware_concurrency() <= 1)
+    std::printf(
+        "note: single-core container — the parallel server round cannot "
+        "show wall-clock speedup here; bit-identity and O(participants) "
+        "memory are the asserted properties.\n");
+  return all_ok;
+}
+
 // Emit the collected measurements as JSON (hand-rolled: flat schema, ASCII
 // labels only) so CI and future PRs can diff kernel performance.
 void write_json(const Report& r, const char* path) {
@@ -1033,6 +1203,22 @@ void write_json(const Report& r, const char* path) {
                "    \"burst1_injector_bit_identical\": %s\n  },\n",
                r.channel_zero_retry_identical ? "true" : "false",
                r.channel_burst1_identical ? "true" : "false");
+  std::fprintf(f, "  \"fleet_round\": [\n");
+  for (std::size_t i = 0; i < r.fleet.size(); ++i) {
+    const auto& row = r.fleet[i];
+    std::fprintf(f,
+                 "    {\"agents\": %zu, \"dim\": %zu, "
+                 "\"rounds_per_s\": %.3f, \"bytes_per_round\": %.0f, "
+                 "\"round_buffer_bytes\": %zu, \"full_matrix_bytes\": %zu, "
+                 "\"memory_scales_with_participants\": %s, "
+                 "\"bit_identical\": %s}%s\n",
+                 row.agents, row.dim, row.rounds_per_s, row.bytes_per_round,
+                 row.round_buffer_bytes, row.full_matrix_bytes,
+                 row.mem_ok ? "true" : "false",
+                 row.identical ? "true" : "false",
+                 i + 1 < r.fleet.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f,
@@ -1152,10 +1338,11 @@ int main(int argc, char** argv) {
   const bool train_ok = frlfi::bench_train_round(quick, report);
   const bool part_ok = frlfi::bench_participation(min_time, quick, report);
   const bool channel_ok = frlfi::bench_channel_reliability(min_time, report);
+  const bool fleet_ok = frlfi::bench_fleet_round(quick, report);
   const bool identical = frlfi::bench_campaign(trials, threads, report);
   frlfi::write_json(report, "BENCH_kernels.json");
   return identical && int8_ok && sharded_ok && trans1_ok && round_ok &&
-                 train_ok && part_ok && channel_ok
+                 train_ok && part_ok && channel_ok && fleet_ok
              ? 0
              : 1;
 }

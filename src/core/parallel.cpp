@@ -159,12 +159,18 @@ ThreadPool& ThreadPool::global() {
 }
 
 void dispatch_lanes(std::size_t threads, std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& body) {
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_per_lane) {
   FRLFI_CHECK(static_cast<bool>(body));
   if (n == 0) return;
   // Resolve exactly once per dispatch (one FRLFI_NUM_THREADS read).
   const std::size_t resolved = threads == 1 ? 1 : resolve_thread_count(threads);
-  const std::size_t lanes = std::min(resolved, n);
+  // Minimum-work-per-lane cap: splitting below min_per_lane items per lane
+  // costs more in dispatch than the lanes pay back (the measured
+  // shard-planner anchor), so small n stays unsplit.
+  const std::size_t work_cap =
+      min_per_lane > 1 ? std::max<std::size_t>(n / min_per_lane, 1) : n;
+  const std::size_t lanes = std::min(std::min(resolved, n), work_cap);
   if (lanes <= 1) {
     body(0, n);
     return;

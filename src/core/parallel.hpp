@@ -64,8 +64,18 @@ void shard_range(std::size_t n, std::size_t parts, std::size_t part,
 /// process-wide pool only while its pinned lane count still matches the
 /// resolved one (otherwise an explicit pool of the resolved size); N:
 /// an explicit pool of min(N, n) lanes. Never more lanes than n.
+///
+/// `min_per_lane` is the dispatch cost model (the same minimum-work-per-
+/// shard rule batch_shard_count applies to sharded forwards): lanes are
+/// additionally capped at n / min_per_lane so no lane carries fewer than
+/// min_per_lane items — BENCH_kernels.json showed that splits below the
+/// threshold lose more to dispatch than they gain from lanes. The lane
+/// partition never changes results (bodies must be partition-invariant),
+/// only how many threads share the work; min_per_lane == 1 is the
+/// historical split-on-width-alone behaviour.
 void dispatch_lanes(std::size_t threads, std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& body);
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t min_per_lane = 1);
 
 /// Fixed-size thread pool executing blocking parallel_for dispatches.
 class ThreadPool {

@@ -14,6 +14,8 @@
 
 namespace frlfi {
 
+class ThreadPool;
+
 /// Schedule for the smoothing weight alpha_k: exponential approach from
 /// alpha_0 toward the consensus value 1/n.
 class AlphaSchedule {
@@ -53,6 +55,16 @@ void smoothing_average_rows(const float* uploads, float* out,
                             float* total_scratch, std::size_t n,
                             std::size_t dim, double alpha);
 
+/// Pool-parallel smoothing average, bit-identical to the serial kernel at
+/// any lane count: the row sum is partitioned by *coordinate* (each lane
+/// accumulates its column slice over all rows in agent order, so every
+/// coordinate sees the exact serial summation chain), and the per-agent
+/// combine by row. The lane partition is pure scheduling — no float
+/// reassociation anywhere.
+void smoothing_average_rows(const float* uploads, float* out,
+                            float* total_scratch, std::size_t n,
+                            std::size_t dim, double alpha, ThreadPool& pool);
+
 /// Plain mean of the uploaded vectors (the consensus policy; used by the
 /// checkpointing scheme and the Table I spread statistic).
 std::vector<float> mean_parameters(const std::vector<std::vector<float>>& uploads);
@@ -62,6 +74,11 @@ std::vector<float> mean_parameters(const std::vector<std::vector<float>>& upload
 /// vector-of-vectors form.
 void mean_parameters_rows(const float* rows, std::size_t n, std::size_t dim,
                           float* mean);
+
+/// Pool-parallel row mean, coordinate-partitioned like the smoothing
+/// kernel — bit-identical to the serial form at any lane count.
+void mean_parameters_rows(const float* rows, std::size_t n, std::size_t dim,
+                          float* mean, ThreadPool& pool);
 
 /// Coordinate-wise trimmed mean over m (possibly non-contiguous) rows:
 /// for each coordinate, sort the m contributed values, drop the trim_k
@@ -73,5 +90,15 @@ void mean_parameters_rows(const float* rows, std::size_t n, std::size_t dim,
 void trimmed_mean_rows(const float* const* rows, std::size_t m,
                        std::size_t dim, std::size_t trim_k, float* scratch,
                        float* out);
+
+/// Pool-parallel trimmed mean: coordinates are partitioned across lanes
+/// (each coordinate's gather/sort/sum is self-contained, so the rank order
+/// — and therefore the bits — cannot depend on the partition).
+/// `lane_scratch` must hold lanes * m floats, `lanes` >= the pool size;
+/// lane l works out of lane_scratch[l * m .. (l + 1) * m).
+void trimmed_mean_rows(const float* const* rows, std::size_t m,
+                       std::size_t dim, std::size_t trim_k,
+                       float* lane_scratch, std::size_t lanes, float* out,
+                       ThreadPool& pool);
 
 }  // namespace frlfi

@@ -28,6 +28,20 @@
 /// On top of either plane, transmit_reliable() runs the checksum/retry/
 /// timeout upload protocol of UploadProtocolConfig (see server.hpp for
 /// how exhausted uploads degrade into the participation plane).
+///
+/// **The fleet plane** (transmit_uploads / the pool transmit_rows
+/// overload) is the thousand-agent round path: every upload rides its own
+/// derived (non-advancing) streams keyed by a per-upload sequence number,
+/// so the uploads fan across a ThreadPool with bit-identical results at
+/// any lane count — a 1-lane pool IS the serial golden path. Burst-plane
+/// uploads produce the exact bits the legacy serial path produces (both
+/// are already per-seq derived); i.i.d. flips in fleet mode move onto the
+/// same derived-stream discipline (keyed under the bursty stream_tag, a
+/// valid namespace even when the burst plane is off), which is a
+/// different — equally i.i.d. — noise realization than the legacy
+/// advancing stream, and never advances the caller's RNG. Retry attempt
+/// k > 0 adds the attempt index to the stream key, so a zero-retry
+/// protocol stays byte-for-byte the plain fleet transmit.
 
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +50,8 @@
 #include "core/rng.hpp"
 
 namespace frlfi {
+
+class ThreadPool;
 
 /// Sub-stream kinds of the bursty-channel RNG plane (derived as
 /// rng.derive_stream({stream_tag, kind, transmit_seq})).
@@ -144,6 +160,34 @@ class CommChannel {
   UploadOutcome transmit_reliable(float* row, std::size_t dim, Rng& rng,
                                   const UploadProtocolConfig& cfg);
 
+  /// Fleet-mode batched transmit: the rows of a row-major n_rows x dim
+  /// matrix fan across `pool`, each riding derived streams keyed by its
+  /// own transmit sequence number (see the file comment). Bit-identical
+  /// at every pool size — a 1-lane pool is the serial golden path — and
+  /// `rng` is never advanced. Burst-plane rows carry the exact bits the
+  /// serial transmit_rows produces; i.i.d. rows carry a derived-stream
+  /// noise realization instead of the legacy advancing one.
+  void transmit_rows(float* rows, std::size_t n_rows, std::size_t dim,
+                     const Rng& rng, ThreadPool& pool);
+
+  /// Fleet-mode upload fan: transmit `n_uploads` payloads (uploads[u]
+  /// points at dim floats, corrupted in place) across `pool` under the
+  /// per-upload derived-stream discipline. One sequence number per
+  /// upload, claimed contiguously up front; retry attempts (when `proto`
+  /// is armed) key their streams by (seq, attempt), so the schedule is
+  /// independent of lane count and of the other uploads' retry activity.
+  /// `reliable_mask` (optional, n_uploads bytes) limits the retry
+  /// protocol to the uploads marked nonzero — unmarked uploads take the
+  /// plain single-attempt path, as the server does for stragglers.
+  /// Outcomes (attempts/delivered/backoff) land in `outcomes[u]` when
+  /// provided. Counters account every attempt, exactly as the serial
+  /// reliable path would.
+  void transmit_uploads(float* const* uploads, std::size_t n_uploads,
+                        std::size_t dim, const Rng& rng, ThreadPool& pool,
+                        const UploadProtocolConfig* proto = nullptr,
+                        const std::uint8_t* reliable_mask = nullptr,
+                        UploadOutcome* outcomes = nullptr);
+
   /// Channel BER currently in force (the i.i.d. plane; ignored while a
   /// bursty config is active).
   double bit_error_rate() const { return ber_; }
@@ -186,11 +230,56 @@ class CommChannel {
   void reset_counters();
 
  private:
+  /// Per-message scratch for the burst plane and the retry protocol.
+  /// Fleet lanes each own one, so transmits on distinct lanes never
+  /// share mutable state.
+  struct RowScratch {
+    std::vector<std::uint8_t> chunk_bad;
+    std::vector<std::uint8_t> chunk_lost;
+    std::vector<std::size_t> perm;
+    std::vector<float> reorder;
+    std::vector<float> orig;
+  };
+
+  /// Cost/corruption counters accumulated lane-locally during a fleet
+  /// fan and folded into the channel totals after the join — size_t sums
+  /// are associative, so the totals are lane-count invariant.
+  struct LaneCounters {
+    std::size_t messages = 0;
+    std::size_t bytes = 0;
+    std::size_t corrupted = 0;
+    std::size_t retransmit_bytes = 0;
+    std::size_t chunks_erased = 0;
+    std::size_t reordered = 0;
+  };
+
   /// One message through the non-degenerate burst plane: weather/erasure/
   /// reorder from the state stream, flips from the noise stream, both
   /// derived (non-advancing) off `rng` and keyed by `seq`.
   void transmit_row_bursty(float* row, std::size_t dim, const Rng& rng,
                            std::uint64_t seq);
+
+  /// Burst-plane body shared by the serial and fleet paths: all scratch
+  /// and counters are the caller's, so it is safe on any lane. attempt 0
+  /// keys streams by (tag, kind, seq) — the serial path's exact keys —
+  /// and retry attempt k > 0 by (tag, kind, seq, k).
+  void transmit_row_bursty_on(float* row, std::size_t dim, const Rng& rng,
+                              std::uint64_t seq, std::uint64_t attempt,
+                              RowScratch& scratch, LaneCounters& cnt) const;
+
+  /// One fleet-mode message: counters/bytes accounting plus the plane
+  /// dispatch (burst plane, derived-stream i.i.d. flips, or clean).
+  void transmit_row_fleet(float* row, std::size_t dim, const Rng& rng,
+                          std::uint64_t seq, std::uint64_t attempt,
+                          RowScratch& scratch, LaneCounters& cnt) const;
+
+  /// One fleet-mode upload under the retry protocol (the lane-safe
+  /// counterpart of transmit_reliable; see transmit_uploads).
+  UploadOutcome transmit_upload_fleet(float* row, std::size_t dim,
+                                      const Rng& rng, std::uint64_t seq,
+                                      const UploadProtocolConfig& cfg,
+                                      RowScratch& scratch,
+                                      LaneCounters& cnt) const;
 
   double ber_;
   BurstyChannelConfig bursty_;
@@ -201,12 +290,13 @@ class CommChannel {
   std::size_t chunks_erased_ = 0;
   std::size_t reordered_ = 0;
   std::uint64_t seq_ = 0;
-  // Burst-plane and retry scratch, reused across messages.
-  std::vector<std::uint8_t> chunk_bad_;
-  std::vector<std::uint8_t> chunk_lost_;
-  std::vector<std::size_t> perm_;
-  std::vector<float> reorder_scratch_;
-  std::vector<float> reliable_orig_;
+  // Serial-path scratch, reused across messages.
+  RowScratch scratch_;
+  // Fleet-fan scratch: one RowScratch + counter block per lane (grow-only
+  // across rounds) and the row-pointer table of the matrix overload.
+  std::vector<RowScratch> fleet_scratch_;
+  std::vector<LaneCounters> fleet_counters_;
+  std::vector<float*> fleet_rows_;
 };
 
 }  // namespace frlfi

@@ -86,6 +86,17 @@ class FederatedRoundEngine {
     /// every value — per-(episode, agent) derived RNG streams plus
     /// disjoint agent state make the lane partition invisible.
     std::size_t threads = 1;
+    /// Worker lanes for the *server* round — the fleet-scale path. 0
+    /// (default) keeps the legacy serial round byte-for-byte (advancing
+    /// channel RNG, full n x dim matrices). N >= 1 arms the fleet
+    /// discipline: channel transmits fan per-(seq, row) on derived
+    /// streams, the aggregation kernels run pool-parallel, and degraded
+    /// rounds use participant-compacted O(participants) storage. Results
+    /// are bit-identical across all N >= 1 — server_threads == 1 is the
+    /// fleet serial golden path (it differs from the legacy path only in
+    /// the i.i.d. channel-noise realization; burst-plane bits match the
+    /// legacy round exactly).
+    std::size_t server_threads = 0;
   };
 
   /// Agent-local callbacks. All four are required. With Config::threads
@@ -213,6 +224,12 @@ class FederatedRoundEngine {
   /// The configuration in force.
   const Config& config() const { return cfg_; }
 
+  /// Bytes currently retained by the engine + server round buffers (round
+  /// matrices, aggregates, scratch). The fleet acceptance gate: with
+  /// server_threads armed and partial participation this scales with the
+  /// participants of a round, not the fleet roster.
+  std::size_t round_buffer_bytes() const;
+
  private:
   void run_training_episode();
   void inject_training_fault_if_due();
@@ -236,15 +253,22 @@ class FederatedRoundEngine {
   std::optional<RewardDropMonitor> monitor_;
   CheckpointStore checkpoints_;
   MitigationStats mit_stats_;
-  // Preallocated n x dim round matrix (empty without a server) and the
-  // per-episode reward scratch.
+  // Round matrices, lazily grown and pooled across rounds: the full
+  // n x dim matrix (synchronous rounds and the legacy degraded path) and
+  // the participant-compacted sender matrix + agent index map of the
+  // fleet degraded path (~participants x dim).
   std::vector<float> round_matrix_;
+  std::vector<float> compact_matrix_;
+  std::vector<std::size_t> compact_agents_;
   std::vector<double> rewards_;
   // Persistent episode pool for an explicit Config::threads > 1 — built
   // once so the per-episode dispatch never spawns threads on the hot
   // path (threads == 1 runs serial; 0 goes through dispatch_lanes, which
   // re-resolves FRLFI_NUM_THREADS per call and reuses the global pool).
   std::unique_ptr<ThreadPool> episode_pool_;
+  // Persistent server-round pool (fleet mode; null while
+  // Config::server_threads == 0 keeps the legacy serial round).
+  std::unique_ptr<ThreadPool> server_pool_;
   std::size_t episode_ = 0;
   bool server_fault_pending_ = false;
 };

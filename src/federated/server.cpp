@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.hpp"
+#include "core/parallel.hpp"
 #include "tensor/gemm.hpp"
 
 namespace frlfi {
@@ -13,7 +14,9 @@ ParameterServer::ParameterServer(std::size_t n_agents, std::size_t parameter_dim
     : n_(n_agents), dim_(parameter_dim), schedule_(schedule) {
   FRLFI_CHECK_MSG(n_ >= 2, "ParameterServer needs >= 2 agents");
   FRLFI_CHECK(dim_ > 0);
-  agg_.resize(n_ * dim_);
+  // The n x dim aggregate matrix is grown lazily by the paths that need
+  // it — a fleet of 10^4 agents at partial participation pays for its
+  // participants, not its roster.
   total_.resize(dim_);
 }
 
@@ -21,6 +24,7 @@ void ParameterServer::communicate_rows(std::span<float> rows, Rng& rng) {
   FRLFI_CHECK_MSG(rows.size() == n_ * dim_,
                   "round matrix holds " << rows.size() << " floats for " << n_
                                         << " x " << dim_);
+  agg_.resize(n_ * dim_);
   // Uplink: every agent's row through the (lossy) channel, in place.
   channel_.transmit_rows(rows.data(), n_, dim_, rng);
 
@@ -36,6 +40,28 @@ void ParameterServer::communicate_rows(std::span<float> rows, Rng& rng) {
 
   // Downlink: transmit the aggregates back, landing in the caller's rows.
   channel_.transmit_rows(agg_.data(), n_, dim_, rng);
+  std::copy(agg_.begin(), agg_.end(), rows.begin());
+
+  ++round_;
+}
+
+void ParameterServer::communicate_rows(std::span<float> rows, const Rng& rng,
+                                       ThreadPool& pool) {
+  FRLFI_CHECK_MSG(rows.size() == n_ * dim_,
+                  "round matrix holds " << rows.size() << " floats for " << n_
+                                        << " x " << dim_);
+  agg_.resize(n_ * dim_);
+  // Uplink fan: every row on its own derived streams, rng untouched.
+  channel_.transmit_rows(rows.data(), n_, dim_, rng, pool);
+
+  smoothing_average_rows(rows.data(), agg_.data(), total_.data(), n_, dim_,
+                         schedule_.at(round_), pool);
+  consensus_.resize(dim_);
+  mean_parameters_rows(agg_.data(), n_, dim_, consensus_.data(), pool);
+
+  apply_post_aggregate_hook();
+
+  channel_.transmit_rows(agg_.data(), n_, dim_, rng, pool);
   std::copy(agg_.begin(), agg_.end(), rows.begin());
 
   ++round_;
@@ -254,7 +280,7 @@ RoundParticipationReport ParameterServer::communicate_round(
     axpy(cand_weights_[j], cand_rows_[j], total_.data(), dim_);
   // Non-receiving rows of the aggregate matrix stay deterministically
   // zero (the rows hook sees the whole matrix).
-  std::fill(agg_.begin(), agg_.end(), 0.0f);
+  agg_.assign(n_ * dim_, 0.0f);
 
   const bool trim = opts.screening.trimmed_mean &&
                     cand_rows_.size() > 2 * opts.screening.trim_k;
@@ -338,6 +364,337 @@ RoundParticipationReport ParameterServer::communicate_round(
 
   ++round_;
   return rep;
+}
+
+RoundParticipationReport ParameterServer::communicate_round_compact(
+    std::span<float> sender_rows, std::span<const std::size_t> sender_agents,
+    std::span<const AgentRoundStatus> status, const RobustRoundOptions& opts,
+    const Rng& rng, ThreadPool& pool, bool run_post_hook) {
+  FRLFI_CHECK_MSG(status.size() == n_,
+                  "got " << status.size() << " statuses for " << n_
+                         << " agents");
+  FRLFI_CHECK(opts.straggler_lag >= 1);
+  FRLFI_CHECK(opts.stale_decay > 0.0 && opts.stale_decay <= 1.0);
+  const std::size_t m_send = sender_agents.size();
+  FRLFI_CHECK_MSG(sender_rows.size() == m_send * dim_,
+                  "sender matrix holds " << sender_rows.size()
+                                         << " floats for " << m_send << " x "
+                                         << dim_);
+
+  RoundParticipationReport rep;
+  rep.round = round_;
+  rep.status.assign(status.begin(), status.end());
+  bool any_pending_due = false;
+  for (const PendingUpload& p : pending_)
+    any_pending_due |= p.deliver_round <= round_;
+  for (AgentRoundStatus s : status) {
+    switch (s) {
+      case AgentRoundStatus::Present: ++rep.present; break;
+      case AgentRoundStatus::Dropped: ++rep.dropped; break;
+      case AgentRoundStatus::Straggler: ++rep.stragglers; break;
+      case AgentRoundStatus::Byzantine: ++rep.byzantine; break;
+    }
+  }
+
+  // The compaction contract: row j is the upload of the j-th sending
+  // agent in ascending agent order, nothing missing, nothing extra.
+  {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!sends_upload(status[i])) continue;
+      FRLFI_CHECK_MSG(j < m_send && sender_agents[j] == i,
+                      "sender compaction mismatch at agent " << i);
+      ++j;
+    }
+    FRLFI_CHECK_MSG(j == m_send,
+                    "sender compaction holds " << m_send << " rows for " << j
+                                               << " senders");
+  }
+
+  const bool screening_on =
+      opts.screening.l2_norm || opts.screening.trimmed_mean;
+  const bool reliable = reliable_upload_armed(opts.upload);
+  if (rep.present == n_ && !any_pending_due && !screening_on && !reliable) {
+    // All-present: the compact matrix IS the full matrix, and the
+    // synchronous fleet round is the locked path.
+    communicate_rows(sender_rows, rng, pool);
+    rep.contributors = n_;
+    rep.aggregated = true;
+    return rep;
+  }
+
+  // Uplink fan: one sequence number per sending agent, claimed in agent
+  // order — the exact numbers the full-matrix path hands out, so the
+  // burst-plane bits match it row for row.
+  upload_failed_.assign(n_, 0);
+  fleet_ptrs_.resize(m_send);
+  for (std::size_t j = 0; j < m_send; ++j)
+    fleet_ptrs_[j] = sender_rows.data() + j * dim_;
+  if (reliable) {
+    fleet_mask_.assign(m_send, 0);
+    for (std::size_t j = 0; j < m_send; ++j)
+      fleet_mask_[j] =
+          status[sender_agents[j]] != AgentRoundStatus::Straggler ? 1 : 0;
+    fleet_outcomes_.assign(m_send, CommChannel::UploadOutcome{});
+    channel_.transmit_uploads(fleet_ptrs_.data(), m_send, dim_, rng, pool,
+                              &opts.upload, fleet_mask_.data(),
+                              fleet_outcomes_.data());
+    // Outcome bookkeeping folds in agent order, independent of the fan.
+    for (std::size_t j = 0; j < m_send; ++j) {
+      if (!fleet_mask_[j]) continue;
+      const CommChannel::UploadOutcome& out = fleet_outcomes_[j];
+      rep.upload_attempts += out.attempts;
+      rep.backoff_seconds += out.backoff;
+      if (out.delivered) continue;
+      const std::size_t i = sender_agents[j];
+      upload_failed_[i] = 1;
+      ++rep.uploads_failed;
+      if (opts.upload.exhausted_to_stale &&
+          opts.straggler_lag <= opts.max_staleness) {
+        PendingUpload p;
+        p.agent = i;
+        p.deliver_round = round_ + opts.straggler_lag;
+        p.weight = static_cast<float>(std::pow(
+            opts.stale_decay, static_cast<double>(opts.straggler_lag)));
+        p.data.assign(
+            sender_rows.begin() + static_cast<std::ptrdiff_t>(j * dim_),
+            sender_rows.begin() + static_cast<std::ptrdiff_t>((j + 1) * dim_));
+        pending_.push_back(std::move(p));
+        ++rep.failed_stale;
+      } else {
+        ++rep.failed_dropped;
+      }
+    }
+    rep.upload_failed.assign(upload_failed_.begin(), upload_failed_.end());
+  } else {
+    channel_.transmit_uploads(fleet_ptrs_.data(), m_send, dim_, rng, pool);
+  }
+
+  // Stragglers: post-channel payloads detour through the staleness
+  // buffer, exactly as in the full-matrix round.
+  for (std::size_t j = 0; j < m_send; ++j) {
+    const std::size_t i = sender_agents[j];
+    if (status[i] != AgentRoundStatus::Straggler) continue;
+    if (opts.straggler_lag > opts.max_staleness) {
+      ++rep.stale_discarded;
+      continue;
+    }
+    PendingUpload p;
+    p.agent = i;
+    p.deliver_round = round_ + opts.straggler_lag;
+    p.weight = static_cast<float>(
+        std::pow(opts.stale_decay, static_cast<double>(opts.straggler_lag)));
+    p.data.assign(
+        sender_rows.begin() + static_cast<std::ptrdiff_t>(j * dim_),
+        sender_rows.begin() + static_cast<std::ptrdiff_t>((j + 1) * dim_));
+    pending_.push_back(std::move(p));
+  }
+
+  // Contributor set: on-time uploads in agent order, then due stale rows
+  // in buffer order — the full-matrix round's exact candidate order.
+  cand_rows_.clear();
+  cand_weights_.clear();
+  cand_agents_.clear();
+  ontime_.assign(n_, 0);
+  constexpr std::size_t kStaleRow = static_cast<std::size_t>(-1);
+  for (std::size_t j = 0; j < m_send; ++j) {
+    const std::size_t i = sender_agents[j];
+    if (status[i] != AgentRoundStatus::Present &&
+        status[i] != AgentRoundStatus::Byzantine)
+      continue;
+    if (upload_failed_[i]) continue;
+    cand_rows_.push_back(sender_rows.data() + j * dim_);
+    cand_weights_.push_back(1.0f);
+    cand_agents_.push_back(i);
+    ontime_[i] = 1;
+  }
+  for (const PendingUpload& p : pending_) {
+    if (p.deliver_round > round_) continue;
+    cand_rows_.push_back(p.data.data());
+    cand_weights_.push_back(p.weight);
+    cand_agents_.push_back(kStaleRow);
+    ++rep.stale_folded;
+  }
+
+  // L2 screen: the per-row norms fan across the pool (each norm is
+  // self-contained); the median sort and the filter stay serial.
+  if (opts.screening.l2_norm && !cand_rows_.empty()) {
+    const std::size_t m = cand_rows_.size();
+    norms_.resize(m);
+    pool.parallel_for(m, [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        double s = 0.0;
+        const float* row = cand_rows_[j];
+        for (std::size_t d = 0; d < dim_; ++d)
+          s += static_cast<double>(row[d]) * static_cast<double>(row[d]);
+        norms_[j] = std::sqrt(s);
+      }
+    });
+    norms_sorted_ = norms_;
+    std::sort(norms_sorted_.begin(), norms_sorted_.end(),
+              [](double a, double b) {
+                const bool fa = std::isfinite(a), fb = std::isfinite(b);
+                if (fa != fb) return fa;
+                if (!fa) return false;
+                return a < b;
+              });
+    const double median = norms_sorted_[(m - 1) / 2];
+    const double f = opts.screening.l2_factor;
+    std::size_t kept = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const bool excluded =
+          !std::isfinite(norms_[j]) ||
+          (std::isfinite(median) && median > 0.0 &&
+           (norms_[j] > f * median || norms_[j] * f < median));
+      if (excluded) {
+        ++rep.screened_out;
+        if (cand_agents_[j] != kStaleRow) ontime_[cand_agents_[j]] = 0;
+        continue;
+      }
+      cand_rows_[kept] = cand_rows_[j];
+      cand_weights_[kept] = cand_weights_[j];
+      cand_agents_[kept] = cand_agents_[j];
+      ++kept;
+    }
+    cand_rows_.resize(kept);
+    cand_weights_.resize(kept);
+    cand_agents_.resize(kept);
+  }
+
+  rep.contributors = cand_rows_.size();
+  rep.aggregated = rep.contributors > 0;
+  const double alpha = schedule_.at(round_);
+  const auto alpha_f = static_cast<float>(alpha);
+
+  double weight_sum = 0.0;
+  for (float w : cand_weights_) weight_sum += static_cast<double>(w);
+  // Column-partitioned weighted contributor sum: every coordinate sees
+  // the serial candidate-order chain at any lane count.
+  pool.parallel_for(dim_, [&](std::size_t d0, std::size_t d1) {
+    std::fill(total_.begin() + static_cast<std::ptrdiff_t>(d0),
+              total_.begin() + static_cast<std::ptrdiff_t>(d1), 0.0f);
+    for (std::size_t j = 0; j < cand_rows_.size(); ++j)
+      axpy(cand_weights_[j], cand_rows_[j] + d0, total_.data() + d0, d1 - d0);
+  });
+
+  const bool trim = opts.screening.trimmed_mean &&
+                    cand_rows_.size() > 2 * opts.screening.trim_k;
+  if (trim) {
+    trim_out_.resize(dim_);
+    trim_scratch_.resize(pool.size() * cand_rows_.size());
+    trimmed_mean_rows(cand_rows_.data(), cand_rows_.size(), dim_,
+                      opts.screening.trim_k, trim_scratch_.data(),
+                      pool.size(), trim_out_.data(), pool);
+  }
+
+  // Receivers (a subset of senders), in agent order.
+  recv_idx_.clear();
+  for (std::size_t j = 0; j < m_send; ++j) {
+    const std::size_t i = sender_agents[j];
+    if (receives_downlink(status[i]) && !upload_failed_[i])
+      recv_idx_.push_back(j);
+  }
+
+  // Aggregate storage: the combine for a row reads only that row's own
+  // elements and the precomputed totals, element-wise — so outside hook
+  // rounds it runs IN PLACE over the caller's compact sender rows and the
+  // round retains no aggregate matrix at all. Only when the post-hook
+  // must observe the full matrix does the legacy zero-filled n x dim
+  // layout materialize (rare, fault-bearing rounds; grown lazily).
+  if (run_post_hook) agg_.assign(n_ * dim_, 0.0f);
+  const auto agg_row = [&](std::size_t j) {
+    return run_post_hook ? agg_.data() + sender_agents[j] * dim_
+                         : sender_rows.data() + j * dim_;
+  };
+
+  // Row-partitioned per-receiver combine, same arithmetic per row as the
+  // full-matrix round. `dst` may alias `self` (the in-place case); each
+  // element depends only on its own index, so the element-wise loops are
+  // alias-safe.
+  pool.parallel_for(recv_idx_.size(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t j = recv_idx_[r];
+      const std::size_t i = sender_agents[j];
+      const float* self = sender_rows.data() + j * dim_;
+      float* dst = agg_row(j);
+      if (trim) {
+        const auto om = static_cast<float>(1.0 - alpha);
+        const float* FRLFI_RESTRICT tm = trim_out_.data();
+#pragma omp simd
+        for (std::size_t d = 0; d < dim_; ++d)
+          dst[d] = alpha_f * self[d] + om * tm[d];
+      } else {
+        const float wi = ontime_[i] ? 1.0f : 0.0f;
+        const double peers = weight_sum - static_cast<double>(wi);
+        if (peers > 0.0) {
+          const auto beta = static_cast<float>((1.0 - alpha) / peers);
+          const float* FRLFI_RESTRICT tot = total_.data();
+#pragma omp simd
+          for (std::size_t d = 0; d < dim_; ++d)
+            dst[d] = alpha_f * self[d] + beta * (tot[d] - wi * self[d]);
+        } else if (dst != self) {
+          std::copy(self, self + dim_, dst);
+        }
+      }
+    }
+  });
+
+  // Consensus over the receiving rows, column-partitioned (serial
+  // receiver-order chain per coordinate).
+  if (!recv_idx_.empty()) {
+    consensus_.resize(dim_);
+    const auto inv =
+        static_cast<float>(1.0 / static_cast<double>(recv_idx_.size()));
+    pool.parallel_for(dim_, [&](std::size_t d0, std::size_t d1) {
+      std::fill(consensus_.begin() + static_cast<std::ptrdiff_t>(d0),
+                consensus_.begin() + static_cast<std::ptrdiff_t>(d1), 0.0f);
+      for (std::size_t r = 0; r < recv_idx_.size(); ++r)
+        axpy(1.0f, agg_row(recv_idx_[r]) + d0, consensus_.data() + d0,
+             d1 - d0);
+      float* FRLFI_RESTRICT c = consensus_.data();
+#pragma omp simd
+      for (std::size_t d = d0; d < d1; ++d) c[d] *= inv;
+    });
+  }
+
+  if (run_post_hook) apply_post_aggregate_hook();
+
+  // Downlink fan to the receivers (their sequence numbers again claimed
+  // in agent order). In the in-place case the delivered payloads already
+  // sit in the caller's compact rows; after a hook round they copy back
+  // from the full aggregate matrix.
+  if (!recv_idx_.empty()) {
+    fleet_ptrs_.resize(recv_idx_.size());
+    for (std::size_t r = 0; r < recv_idx_.size(); ++r)
+      fleet_ptrs_[r] = agg_row(recv_idx_[r]);
+    channel_.transmit_uploads(fleet_ptrs_.data(), recv_idx_.size(), dim_,
+                              rng, pool);
+    if (run_post_hook) {
+      pool.parallel_for(recv_idx_.size(),
+                        [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::size_t j = recv_idx_[r];
+          const float* src = agg_row(j);
+          std::copy(src, src + dim_,
+                    sender_rows.begin() +
+                        static_cast<std::ptrdiff_t>(j * dim_));
+        }
+      });
+    }
+  }
+
+  std::erase_if(pending_, [this](const PendingUpload& p) {
+    return p.deliver_round <= round_;
+  });
+
+  ++round_;
+  return rep;
+}
+
+std::size_t ParameterServer::round_buffer_bytes() const {
+  return (agg_.capacity() + total_.capacity() + trim_out_.capacity() +
+          trim_scratch_.capacity() + consensus_.capacity()) *
+         sizeof(float);
 }
 
 void ParameterServer::set_pending_uploads(std::vector<PendingUpload> pending) {

@@ -66,6 +66,16 @@ class ParameterServer {
   /// the same rows (which is now this path).
   void communicate_rows(std::span<float> rows, Rng& rng);
 
+  /// Fleet-mode synchronous round: the uplink/downlink fan across `pool`
+  /// under the channel's per-sequence derived-stream discipline (rng is
+  /// never advanced), and the aggregation kernels run pool-parallel with
+  /// their column/row partitions. Bit-identical at every pool size — a
+  /// 1-lane pool is the fleet serial golden path. Burst-plane channel
+  /// bits also match the legacy serial round exactly; i.i.d. flips are a
+  /// different (derived-stream) realization, see channel.hpp.
+  void communicate_rows(std::span<float> rows, const Rng& rng,
+                        ThreadPool& pool);
+
   /// Server-side knobs of one degraded round (engine-derived from the
   /// ParticipationPlan; the server never sees schedule probabilities,
   /// only resolved statuses).
@@ -117,6 +127,42 @@ class ParameterServer {
       std::span<float> rows, std::span<const AgentRoundStatus> status,
       const RobustRoundOptions& opts, Rng& rng);
 
+  /// The fleet-scale degraded round: participant-compacted storage,
+  /// pool-parallel channel fan and aggregation kernels, O(participants)
+  /// memory. `sender_rows` is a row-major n_senders x dim matrix holding,
+  /// in ascending agent order, the upload of every agent whose status
+  /// sends (Present / Straggler / Byzantine — `sender_agents[j]` is row
+  /// j's agent index); receivers are a subset of senders, so on return
+  /// row j holds agent sender_agents[j]'s downlink payload when that
+  /// agent receives (and its clean payload after a failed reliable
+  /// upload); other rows hold their post-channel upload. Semantics match
+  /// communicate_round row for row; with a burst-plane channel and the
+  /// retry protocol unarmed the delivered bits, counters and sequence
+  /// numbers are *identical* to the full-matrix path (both key every
+  /// message by the same per-sender sequence numbers).
+  ///
+  /// `run_post_hook` gates the post-aggregation hook: when false the
+  /// aggregation combines IN PLACE over the caller's sender rows — no
+  /// aggregate matrix is retained at all — because the caller asserts
+  /// the installed hook would not observe or mutate anything this round
+  /// (the round engine passes its server-fault-pending flag). When true
+  /// the full zero-filled n x dim aggregate matrix is built (grow-only,
+  /// only on such rounds) and the hook runs exactly as in
+  /// communicate_round.
+  ///
+  /// Results are bit-identical at every pool size; a 1-lane pool is the
+  /// serial golden path the fleet_round bench gates against.
+  RoundParticipationReport communicate_round_compact(
+      std::span<float> sender_rows, std::span<const std::size_t> sender_agents,
+      std::span<const AgentRoundStatus> status, const RobustRoundOptions& opts,
+      const Rng& rng, ThreadPool& pool, bool run_post_hook);
+
+  /// Bytes currently retained by the round-scratch buffers (aggregate
+  /// matrices, row sums, trim/candidate scratch). The fleet acceptance
+  /// gate: at partial participation with compact rounds this scales with
+  /// participants, not fleet size.
+  std::size_t round_buffer_bytes() const;
+
   /// Staleness-buffer state (straggler uploads still in flight), exposed
   /// for snapshot capture; set_pending_uploads restores it.
   const std::vector<PendingUpload>& pending_uploads() const {
@@ -158,8 +204,11 @@ class ParameterServer {
   std::vector<float> consensus_;
   std::function<void(std::size_t, std::vector<std::vector<float>>&)> hook_;
   std::function<void(std::size_t, std::span<float>, std::size_t)> rows_hook_;
-  // Round scratch, preallocated once: the aggregate matrix (n x dim) and
-  // the smoothing row-sum (dim).
+  // Round scratch, lazily grown and pooled across rounds: the full
+  // n x dim aggregate matrix (only materialized by full-matrix rounds
+  // and hook-bearing compact rounds — hook-free compact rounds combine
+  // in place over the caller's sender rows and retain no aggregate
+  // matrix) and the smoothing row-sum (dim).
   std::vector<float> agg_;
   std::vector<float> total_;
   // Degraded-round state and scratch: straggler uploads in flight plus
@@ -168,10 +217,19 @@ class ParameterServer {
   std::vector<PendingUpload> pending_;
   std::vector<const float*> cand_rows_;
   std::vector<float> cand_weights_;
+  std::vector<std::size_t> cand_agents_;
   std::vector<std::uint8_t> ontime_;
   std::vector<std::uint8_t> upload_failed_;
   std::vector<float> trim_out_;
   std::vector<float> trim_scratch_;
+  // Fleet-round scratch: channel fan pointer/mask/outcome tables, the
+  // receiver row list, and the screening norm buffers.
+  std::vector<float*> fleet_ptrs_;
+  std::vector<std::uint8_t> fleet_mask_;
+  std::vector<CommChannel::UploadOutcome> fleet_outcomes_;
+  std::vector<std::size_t> recv_idx_;
+  std::vector<double> norms_;
+  std::vector<double> norms_sorted_;
 };
 
 }  // namespace frlfi

@@ -174,6 +174,7 @@ DroneFrlSystem::DroneFrlSystem(Config cfg, std::uint64_t seed)
   ecfg.channel_ber = cfg_.channel_ber;
   ecfg.bursty_channel = cfg_.channel_bursty;
   ecfg.threads = cfg_.threads;
+  ecfg.server_threads = cfg_.server_threads;
   engine_ = std::make_unique<FederatedRoundEngine>(
       ecfg, seed, /*stream_tag=*/0xD201E,
       FederatedRoundEngine::Hooks{

@@ -56,6 +56,11 @@ class DroneFrlSystem {
     /// (FederatedRoundEngine::Config::threads): 1 = serial, 0 = auto, N =
     /// exactly N. train() is bit-identical for every value.
     std::size_t threads = 1;
+    /// Worker lanes for the server round (fleet-scale path): 0 keeps the
+    /// legacy serial round byte-for-byte, N >= 1 arms the fleet
+    /// discipline — bit-identical across all N >= 1 (see
+    /// FederatedRoundEngine::Config::server_threads).
+    std::size_t server_threads = 0;
     /// REINFORCE hyperparameters for online fine-tuning.
     ReinforceTrainer::Options learner;
     /// Environment/task parameters.

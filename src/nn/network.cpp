@@ -57,11 +57,11 @@ Tensor Network::forward(const Tensor& input, const WeightView* view) {
 }
 
 std::size_t batch_shard_count(std::size_t batch, std::size_t lanes) {
-  if (lanes <= 1 || batch <= 1) return 1;
-  const std::size_t max_shards = batch >= kBatchInnerWideKernelMin
-                                     ? batch / kBatchInnerWideKernelMin
-                                     : batch;
-  return std::min(lanes, max_shards);
+  static_assert(kBatchShardMinPerShard % kBatchInnerWideKernelMin == 0,
+                "cost cap must subsume the wide-kernel bit-identity cap");
+  if (lanes <= 1) return 1;
+  const std::size_t max_shards = batch / kBatchShardMinPerShard;
+  return max_shards <= 1 ? 1 : std::min(lanes, max_shards);
 }
 
 namespace {

@@ -189,23 +189,38 @@ class Network {
   mutable bool param_cache_valid_ = false;
 };
 
+/// Minimum rows of work per shard before the planner will split a batch:
+/// the cost model distilled from the sharded_inference bench (see
+/// kShardNetLossBatch below). A shard narrower than this doesn't pay for
+/// its dispatch + transpose overhead, so batches under 2x this stay
+/// unsharded and wider batches split into at most batch / this shards.
+/// A multiple of kBatchInnerWideKernelMin, so the cost cap subsumes the
+/// wide-kernel bit-identity cap.
+inline constexpr std::size_t kBatchShardMinPerShard = 32;
+
 /// Sub-batch count a sharded Network::forward_batch uses for `batch`
-/// samples on `lanes` pool lanes. Capped so no sub-batch crosses the
-/// layers' wide-kernel threshold relative to the undivided batch: every
-/// shard of a batch >= kBatchInnerWideKernelMin stays >= it (same wide
-/// kernels, whose per-element chains are width-independent), and a batch
-/// below it only splits into per-sample work the gather kernels already do
-/// sample-by-sample — so sharding can never change a bit.
+/// samples on `lanes` pool lanes. Two caps compose:
+///
+///  * **Bit identity.** No sub-batch crosses the layers' wide-kernel
+///    threshold relative to the undivided batch: every shard of a batch
+///    >= kBatchInnerWideKernelMin stays >= it (same wide kernels, whose
+///    per-element chains are width-independent) — so sharding can never
+///    change a bit.
+///  * **Cost model.** Every shard carries at least kBatchShardMinPerShard
+///    rows, so small batches (e.g. B=16 across 2 threads, a measured
+///    3.5x loss) are declined outright and mid-size batches split onto
+///    fewer lanes than the pool offers. Since the per-shard minimum is a
+///    multiple of the wide-kernel threshold, this cap subsumes the first.
 std::size_t batch_shard_count(std::size_t batch, std::size_t lanes);
 
 /// Measured shard-planner anchor: BENCH_kernels.json's sharded_inference
 /// section shows that sharding a B=16 drone-policy forward across 2
 /// threads is a net *loss* (oversubscription aside — the split itself
-/// doesn't pay for its dispatch at that width). batch_shard_count has no
-/// cost model and splits on width alone; these constants record the
-/// measured break-even point so the future cost-model pass has a concrete
-/// anchor, and latency-sensitive callers can keep batches at or below
-/// kShardNetLossBatch unsharded.
+/// doesn't pay for its dispatch at that width). The cost-model pass
+/// landed as kBatchShardMinPerShard: batch_shard_count now declines
+/// exactly these configurations (B <= kShardNetLossBatch never shards).
+/// These constants stay as the measured break-even anchor the model is
+/// calibrated against.
 inline constexpr std::size_t kShardNetLossBatch = 16;
 inline constexpr std::size_t kShardNetLossThreads = 2;
 

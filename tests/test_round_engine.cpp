@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -324,6 +325,251 @@ TEST(RoundEngine, ValidatesHooksAndConfig) {
   cfg.parameter_dim = 4;
   FederatedRoundEngine::Hooks hooks;  // all empty
   EXPECT_THROW(FederatedRoundEngine(cfg, 1, 2, hooks), Error);
+}
+
+/// Synthetic fleet member for the fleet-scale engine tests: flat
+/// per-agent parameter rows, an "episode" that nudges one coordinate
+/// deterministically — rounds aggregate changing data at zero NN cost, so
+/// the tests can afford 10^3-agent fleets.
+struct FleetHarness {
+  std::size_t n, dim;
+  std::vector<float> params;
+  FleetHarness(std::size_t n_agents, std::size_t param_dim)
+      : n(n_agents), dim(param_dim), params(n_agents * param_dim) {
+    Rng wrng(91);
+    for (auto& v : params) v = static_cast<float>(wrng.uniform(-0.5, 0.5));
+  }
+  FederatedRoundEngine::Hooks hooks() {
+    FederatedRoundEngine::Hooks h;
+    h.run_episode = [this](std::size_t agent, std::size_t episode, Rng&) {
+      params[agent * dim] += 1e-3f * static_cast<float>((agent + episode) % 7);
+      return 0.0;
+    };
+    h.gather_params = [this](std::size_t agent, std::span<float> out) {
+      std::copy(params.begin() + static_cast<std::ptrdiff_t>(agent * dim),
+                params.begin() + static_cast<std::ptrdiff_t>((agent + 1) * dim),
+                out.begin());
+    };
+    h.scatter_params = [this](std::size_t agent, std::span<const float> p) {
+      std::copy(p.begin(), p.end(),
+                params.begin() + static_cast<std::ptrdiff_t>(agent * dim));
+    };
+    h.inject_agent = [](std::size_t, const FaultSpec&, Rng&) {};
+    return h;
+  }
+};
+
+/// Stormy Gilbert–Elliott channel: bad-state flips, chunk erasure and
+/// reordering all active, so the fleet transmit fan has real work and the
+/// burst-plane bit-identity (legacy vs fleet) is exercised, not vacuous.
+BurstyChannelConfig stormy_channel() {
+  BurstyChannelConfig bursty;
+  bursty.active = true;
+  bursty.ber_good = 1e-4;
+  bursty.ber_bad = 0.05;
+  bursty.p_good_to_bad = 0.2;
+  bursty.p_bad_to_good = 0.25;
+  bursty.erasure_rate = 0.05;
+  bursty.reorder_rate = 0.1;
+  bursty.chunk_elems = 16;
+  return bursty;
+}
+
+FederatedRoundEngine::Config fleet_config(std::size_t agents, std::size_t dim,
+                                          std::size_t server_threads) {
+  FederatedRoundEngine::Config cfg;
+  cfg.n_agents = agents;
+  cfg.parameter_dim = dim;
+  cfg.comm_interval = 1;
+  cfg.bursty_channel = stormy_channel();
+  cfg.server_threads = server_threads;
+  return cfg;
+}
+
+/// Everything degraded at once: dropout windows, stragglers, Byzantine
+/// senders, L2 screening and a sparse upload cadence.
+ParticipationPlan fleet_plan() {
+  ParticipationPlan plan;
+  plan.active = true;
+  plan.dropout_rate = 0.05;
+  plan.crash_rounds = 2;
+  plan.straggler_rate = 0.1;
+  plan.straggler_lag = 2;
+  plan.stale_decay = 0.5;
+  plan.max_staleness = 4;
+  plan.byzantine_agents = {1, 3};
+  plan.screening.l2_norm = true;
+  plan.screening.l2_factor = 3.0;
+  plan.cadence = 4;
+  return plan;
+}
+
+void expect_stats_equal(const ParticipationStats& got,
+                        const ParticipationStats& want) {
+  EXPECT_EQ(got.rounds, want.rounds);
+  EXPECT_EQ(got.present, want.present);
+  EXPECT_EQ(got.dropped, want.dropped);
+  EXPECT_EQ(got.stragglers, want.stragglers);
+  EXPECT_EQ(got.byzantine, want.byzantine);
+  EXPECT_EQ(got.stale_folded, want.stale_folded);
+  EXPECT_EQ(got.stale_discarded, want.stale_discarded);
+  EXPECT_EQ(got.screened_out, want.screened_out);
+  EXPECT_EQ(got.degenerate_rounds, want.degenerate_rounds);
+  EXPECT_EQ(got.upload_attempts, want.upload_attempts);
+  EXPECT_EQ(got.uploads_failed, want.uploads_failed);
+}
+
+void expect_channels_equal(const FederatedRoundEngine& got,
+                           const FederatedRoundEngine& want) {
+  const CommChannel& g = got.server()->channel();
+  const CommChannel& w = want.server()->channel();
+  EXPECT_EQ(g.transmit_seq(), w.transmit_seq());
+  EXPECT_EQ(g.messages_sent(), w.messages_sent());
+  EXPECT_EQ(g.bytes_sent(), w.bytes_sent());
+  EXPECT_EQ(g.bits_corrupted(), w.bits_corrupted());
+}
+
+TEST(FleetRound, DegradedRoundIsServerLaneCountInvariant) {
+  // The fleet determinism grid: n_agents x server_threads with every
+  // degradation active at once. server_threads == 1 is the serial golden
+  // path; 2 and 7 lanes must reproduce it bit for bit — parameters,
+  // channel sequence numbers/counters and participation stats — and the
+  // extra train() leg locks the RNG stream position too.
+  const std::size_t dim = 96;
+  for (const std::size_t agents : {std::size_t{256}, std::size_t{1024}}) {
+    FleetHarness golden(agents, dim);
+    FederatedRoundEngine ref(fleet_config(agents, dim, 1), 2024, 0xF1EE7,
+                             golden.hooks());
+    ref.set_participation_plan(fleet_plan());
+    ref.train(6);
+    const auto golden_mid = golden.params;
+    ref.train(3);  // diverges here if a lane count consumed RNG differently
+
+    for (const std::size_t lanes : {std::size_t{2}, std::size_t{7}}) {
+      FleetHarness h(agents, dim);
+      FederatedRoundEngine sys(fleet_config(agents, dim, lanes), 2024, 0xF1EE7,
+                               h.hooks());
+      sys.set_participation_plan(fleet_plan());
+      sys.train(6);
+      EXPECT_EQ(h.params, golden_mid)
+          << agents << " agents, " << lanes << " lanes";
+      sys.train(3);
+      EXPECT_EQ(h.params, golden.params)
+          << agents << " agents, " << lanes << " lanes (continuation)";
+      expect_channels_equal(sys, ref);
+      expect_stats_equal(sys.participation_stats(), ref.participation_stats());
+    }
+    // The plan actually degraded something at this seed.
+    EXPECT_GT(ref.participation_stats().dropped, 0u);
+    EXPECT_GT(ref.participation_stats().stragglers, 0u);
+    EXPECT_GT(ref.participation_stats().byzantine, 0u);
+  }
+}
+
+TEST(FleetRound, CompactDegradedRoundMatchesLegacyFullMatrixBits) {
+  // Participant-compaction equivalence: on the burst plane with the retry
+  // protocol unarmed, every message is keyed by the same per-sender
+  // sequence numbers on both paths, so the O(participants) compact round
+  // (server_threads = 1) must be *identical* to the legacy full-matrix
+  // round (server_threads = 0) — parameters, channel counters, stats and
+  // the staleness buffer included.
+  const std::size_t agents = 64, dim = 48;
+  FleetHarness legacy_h(agents, dim);
+  FederatedRoundEngine legacy(fleet_config(agents, dim, 0), 7, 0xF1EE7,
+                              legacy_h.hooks());
+  legacy.set_participation_plan(fleet_plan());
+  legacy.train(10);
+
+  FleetHarness fleet_h(agents, dim);
+  FederatedRoundEngine fleet(fleet_config(agents, dim, 1), 7, 0xF1EE7,
+                             fleet_h.hooks());
+  fleet.set_participation_plan(fleet_plan());
+  fleet.train(10);
+
+  EXPECT_EQ(fleet_h.params, legacy_h.params);
+  expect_channels_equal(fleet, legacy);
+  expect_stats_equal(fleet.participation_stats(),
+                     legacy.participation_stats());
+  const auto& lp = legacy.server()->pending_uploads();
+  const auto& fp = fleet.server()->pending_uploads();
+  ASSERT_EQ(fp.size(), lp.size());
+  for (std::size_t i = 0; i < lp.size(); ++i) {
+    EXPECT_EQ(fp[i].agent, lp[i].agent);
+    EXPECT_EQ(fp[i].deliver_round, lp[i].deliver_round);
+    EXPECT_EQ(fp[i].weight, lp[i].weight);
+    EXPECT_EQ(fp[i].data, lp[i].data);
+  }
+}
+
+TEST(FleetRound, PlanFreeFleetRoundMatchesLegacyOnBurstPlane) {
+  // Without a participation plan the fleet path runs the synchronous
+  // communicate_rows fan; burst-plane bits are per-sequence derived on
+  // both paths, so every lane count must match the legacy serial round.
+  const std::size_t agents = 32, dim = 40;
+  FleetHarness legacy_h(agents, dim);
+  FederatedRoundEngine legacy(fleet_config(agents, dim, 0), 19, 0xF1EE7,
+                              legacy_h.hooks());
+  legacy.train(8);
+
+  for (const std::size_t lanes :
+       {std::size_t{1}, std::size_t{2}, std::size_t{7}}) {
+    FleetHarness h(agents, dim);
+    FederatedRoundEngine sys(fleet_config(agents, dim, lanes), 19, 0xF1EE7,
+                             h.hooks());
+    sys.train(8);
+    EXPECT_EQ(h.params, legacy_h.params) << lanes << " lanes";
+    expect_channels_equal(sys, legacy);
+  }
+}
+
+TEST(FleetRound, ZeroRetryUploadProtocolKeepsFleetRoundBits) {
+  // An enabled-but-zero-retry protocol must stay on the plain fleet plan
+  // path byte for byte (the reliable fan only arms with retries > 0).
+  const std::size_t agents = 48, dim = 32;
+  FleetHarness plain_h(agents, dim);
+  FederatedRoundEngine plain(fleet_config(agents, dim, 2), 23, 0xF1EE7,
+                             plain_h.hooks());
+  plain.set_participation_plan(fleet_plan());
+  plain.train(8);
+
+  FleetHarness zr_h(agents, dim);
+  FederatedRoundEngine zr(fleet_config(agents, dim, 2), 23, 0xF1EE7,
+                          zr_h.hooks());
+  ParticipationPlan plan = fleet_plan();
+  plan.upload.enabled = true;
+  plan.upload.max_retries = 0;
+  zr.set_participation_plan(plan);
+  zr.train(8);
+
+  EXPECT_EQ(zr_h.params, plain_h.params);
+  expect_channels_equal(zr, plain);
+  expect_stats_equal(zr.participation_stats(), plain.participation_stats());
+}
+
+TEST(FleetRound, RoundBufferMemoryScalesWithParticipants) {
+  // The O(participants) acceptance gate: at cadence 8 (~12.5%
+  // participation) the fleet engine's retained round buffers must stay
+  // under a quarter of the full n x dim matrix, while the legacy path
+  // retains the full matrix by construction.
+  const std::size_t agents = 1024, dim = 64;
+  const std::size_t full_bytes = agents * dim * sizeof(float);
+  ParticipationPlan plan = fleet_plan();
+  plan.cadence = 8;
+
+  FleetHarness fleet_h(agents, dim);
+  FederatedRoundEngine fleet(fleet_config(agents, dim, 1), 41, 0xF1EE7,
+                             fleet_h.hooks());
+  fleet.set_participation_plan(plan);
+  fleet.train(6);
+  EXPECT_LT(fleet.round_buffer_bytes(), full_bytes / 4)
+      << "compact round buffers must scale with participants";
+
+  FleetHarness legacy_h(agents, dim);
+  FederatedRoundEngine legacy(fleet_config(agents, dim, 0), 41, 0xF1EE7,
+                              legacy_h.hooks());
+  legacy.set_participation_plan(plan);
+  legacy.train(6);
+  EXPECT_GE(legacy.round_buffer_bytes(), full_bytes);
 }
 
 }  // namespace

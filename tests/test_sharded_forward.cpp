@@ -68,19 +68,31 @@ void expect_sharded_matches_serial(Network& net,
   }
 }
 
-TEST(ShardedForward, ShardPlannerRespectsWideKernelThreshold) {
-  // Below the wide-kernel width every sample is already computed
-  // independently, so any split is allowed; above it no shard may drop
-  // below the threshold (that would change kernel selection, hence bits).
+TEST(ShardedForward, ShardPlannerAppliesCostModel) {
+  // The planner's cost model: every shard must carry at least
+  // kBatchShardMinPerShard rows, so small batches stay unsharded (the
+  // measured B=16 x 2-thread loss is declined outright) and mid-size
+  // batches split onto fewer lanes than the pool offers.
   EXPECT_EQ(batch_shard_count(1, 8), 1u);
-  EXPECT_EQ(batch_shard_count(3, 2), 2u);
-  EXPECT_EQ(batch_shard_count(7, 16), 7u);
+  EXPECT_EQ(batch_shard_count(3, 2), 1u);
+  EXPECT_EQ(batch_shard_count(7, 16), 1u);
   EXPECT_EQ(batch_shard_count(8, 16), 1u);
+  EXPECT_EQ(batch_shard_count(12, 7), 1u);
+  // The measured net-loss anchor is declined at any lane count.
+  EXPECT_EQ(batch_shard_count(kShardNetLossBatch, kShardNetLossThreads), 1u);
+  EXPECT_EQ(batch_shard_count(kShardNetLossBatch, 16), 1u);
+  // Just below 2 shards' worth of work stays whole; at 2x it splits.
+  EXPECT_EQ(batch_shard_count(2 * kBatchShardMinPerShard - 1, 8), 1u);
+  EXPECT_EQ(batch_shard_count(2 * kBatchShardMinPerShard, 8), 2u);
   EXPECT_EQ(batch_shard_count(64, 2), 2u);
-  EXPECT_EQ(batch_shard_count(64, 7), 7u);
-  EXPECT_EQ(batch_shard_count(64, 16), 8u);
-  EXPECT_EQ(batch_shard_count(12, 7), 1u);  // 2 shards of 6 would switch kernels
-  for (const std::size_t batch : {3u, 12u, 64u, 65u}) {
+  EXPECT_EQ(batch_shard_count(64, 7), 2u);   // cost cap, not lane count
+  EXPECT_EQ(batch_shard_count(64, 16), 2u);
+  EXPECT_EQ(batch_shard_count(128, 16), 4u);
+  EXPECT_EQ(batch_shard_count(256, 4), 4u);  // lane cap binds again
+  // The cost cap subsumes the wide-kernel bit-identity cap: no shard of
+  // a batch >= kBatchInnerWideKernelMin may drop below it (that would
+  // change kernel selection, hence bits).
+  for (const std::size_t batch : {3u, 12u, 64u, 65u, 96u, 256u}) {
     for (const std::size_t lanes : {2u, 7u, 16u}) {
       const std::size_t shards = batch_shard_count(batch, lanes);
       for (std::size_t s = 0; s < shards; ++s) {
@@ -88,6 +100,10 @@ TEST(ShardedForward, ShardPlannerRespectsWideKernelThreshold) {
         shard_range(batch, shards, s, b, e);
         if (batch >= kBatchInnerWideKernelMin) {
           EXPECT_GE(e - b, kBatchInnerWideKernelMin)
+              << "batch " << batch << " lanes " << lanes << " shard " << s;
+        }
+        if (shards > 1) {
+          EXPECT_GE(e - b, kBatchShardMinPerShard)
               << "batch " << batch << " lanes " << lanes << " shard " << s;
         }
       }
